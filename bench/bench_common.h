@@ -1,0 +1,56 @@
+// Shared configuration for the figure-reproduction benches.
+//
+// Every bench runs the same experiment harness the integration tests use, at request counts
+// sized so the full suite finishes in minutes on one core. Absolute latencies come from the
+// analytic hardware model (DESIGN.md §2); what each bench must reproduce is the *shape* of the
+// corresponding paper figure, stated in a trailing "expected shape" note.
+#ifndef FMOE_BENCH_BENCH_COMMON_H_
+#define FMOE_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+
+#include "src/harness/experiment.h"
+#include "src/util/table.h"
+
+namespace fmoe {
+namespace bench {
+
+// Standard offline-experiment options (7:3 protocol, paper's d = 3).
+inline ExperimentOptions StandardOptions(const ModelConfig& model,
+                                         const DatasetProfile& dataset) {
+  ExperimentOptions options;
+  options.model = model;
+  options.dataset = dataset;
+  options.history_requests = 80;
+  options.test_requests = 24;
+  options.max_decode_tokens = 32;
+  options.store_capacity = 512;
+  options.prefetch_distance = 3;
+  options.cache_fraction = 0.22;
+  options.seed = 42;
+  return options;
+}
+
+// Reduced-size options for wide parameter sweeps.
+inline ExperimentOptions SweepOptions(const ModelConfig& model, const DatasetProfile& dataset) {
+  ExperimentOptions options = StandardOptions(model, dataset);
+  options.history_requests = 48;
+  options.test_requests = 12;
+  options.max_decode_tokens = 24;
+  options.store_capacity = 384;
+  return options;
+}
+
+inline std::string Ms(double seconds, int precision = 1) {
+  return AsciiTable::Num(seconds * 1e3, precision);
+}
+
+inline std::string Pct(double fraction, int precision = 1) {
+  return AsciiTable::Num(fraction * 100.0, precision);
+}
+
+}  // namespace bench
+}  // namespace fmoe
+
+#endif  // FMOE_BENCH_BENCH_COMMON_H_

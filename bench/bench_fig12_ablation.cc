@@ -1,0 +1,57 @@
+// Figure 12: ablation study.
+//   12a — expert-pattern tracking approaches: Speculate, Hit count, Map(T), Map(T+S),
+//         Map(T+S+delta). All run inside the same matcher/prefetcher machinery.
+//   12b — caching algorithms: LRU, LFU, fMoE's probability-weighted LFU, all under full
+//         fMoE prefetching.
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using fmoe::AsciiTable;
+  using namespace fmoe::bench;
+
+  // Qwen1.5-MoE gives the delta mechanism headroom: with 60 experts and top-4 routing the
+  // matched distributions are flat enough that the threshold actually widens selections.
+  const fmoe::ModelConfig model = fmoe::QwenMoeConfig();
+  const fmoe::DatasetProfile dataset = fmoe::LmsysLikeProfile();
+
+  fmoe::PrintBanner(std::cout, "Figure 12a: expert pattern tracking approaches (Qwen1.5-MoE)");
+  {
+    AsciiTable table({"tracking approach", "hit rate (%)", "TPOT (ms)"});
+    const std::vector<std::pair<std::string, std::string>> variants{
+        {"Speculate", "Speculate"},
+        {"Hit count", "HitCount"},
+        {"Map (T)", "Map(T)"},
+        {"Map (T+S)", "Map(T+S)"},
+        {"Map (T+S+d)", "Map(T+S+d)"},
+    };
+    for (const auto& [label, system] : variants) {
+      const fmoe::ExperimentOptions options = SweepOptions(model, dataset);
+      const fmoe::ExperimentResult result = fmoe::RunOffline(system, options);
+      table.AddRow({label, Pct(result.hit_rate), Ms(result.mean_tpot)});
+    }
+    table.Print(std::cout);
+  }
+
+  fmoe::PrintBanner(std::cout, "Figure 12b: expert caching algorithms (Qwen1.5-MoE)");
+  {
+    AsciiTable table({"caching algorithm", "hit rate (%)", "TPOT (ms)"});
+    const std::vector<std::pair<std::string, std::string>> variants{
+        {"LRU (Mixtral-Offloading)", "fMoE-LRU"},
+        {"LFU (MoE-Infinity)", "fMoE-LFU"},
+        {"fMoE (p x freq priority)", "fMoE"},
+    };
+    for (const auto& [label, system] : variants) {
+      const fmoe::ExperimentOptions options = SweepOptions(model, dataset);
+      const fmoe::ExperimentResult result = fmoe::RunOffline(system, options);
+      table.AddRow({label, Pct(result.hit_rate), Ms(result.mean_tpot)});
+    }
+    table.Print(std::cout);
+  }
+
+  std::cout << "Expected shape (paper Fig. 12): hit rate increases as expert-map features are\n"
+               "restored — hit-count tracking worst, Map(T) < Map(T+S) < Map(T+S+delta) —\n"
+               "(12a); and LRU < LFU < fMoE's priority cache under prefetching (12b).\n";
+  return 0;
+}

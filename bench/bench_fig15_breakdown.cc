@@ -1,0 +1,52 @@
+// Figure 15: latency breakdown of one fMoE inference iteration for the three models —
+// synchronous components (compute, on-demand loading, context collection) versus asynchronous
+// tasks (map matching, prefetch issue, map update) that do not extend the iteration.
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using fmoe::AsciiTable;
+  using namespace fmoe::bench;
+
+  fmoe::PrintBanner(std::cout, "Figure 15: latency breakdown of one fMoE inference iteration");
+  AsciiTable table({"component (ms/iteration)", "Mixtral-8x7B", "Qwen1.5-MoE", "Phi-3.5-MoE"});
+
+  std::vector<std::vector<std::string>> rows{
+      {"attention compute"},   {"expert compute"},        {"on-demand loading (stall)"},
+      {"layer overhead"},      {"context collection (sync)"}, {"TOTAL iteration"},
+      {"map matching (async)"}, {"prefetch issue (async)"},   {"map update (async)"},
+      {"sync overhead share (%)"}};
+
+  for (const fmoe::ModelConfig& model : fmoe::AllPaperModels()) {
+    const fmoe::ExperimentOptions options = StandardOptions(model, fmoe::LmsysLikeProfile());
+    const fmoe::ExperimentResult result = fmoe::RunOffline("fMoE", options);
+    const fmoe::LatencyBreakdown& b = result.breakdown;
+    const double iters = static_cast<double>(result.iterations);
+    auto per_iter = [&](double total) { return Ms(total / iters, 3); };
+    const double context_sync =
+        b.sync_overhead[static_cast<size_t>(fmoe::OverheadCategory::kContextCollection)];
+    rows[0].push_back(per_iter(b.attention_compute));
+    rows[1].push_back(per_iter(b.expert_compute));
+    rows[2].push_back(per_iter(b.demand_stall));
+    rows[3].push_back(per_iter(b.layer_overhead));
+    rows[4].push_back(per_iter(context_sync));
+    rows[5].push_back(per_iter(b.TotalIteration()));
+    rows[6].push_back(
+        per_iter(b.async_work[static_cast<size_t>(fmoe::OverheadCategory::kMapMatching)]));
+    rows[7].push_back(
+        per_iter(b.async_work[static_cast<size_t>(fmoe::OverheadCategory::kPrefetchIssue)]));
+    rows[8].push_back(
+        per_iter(b.async_work[static_cast<size_t>(fmoe::OverheadCategory::kMapUpdate)]));
+    rows[9].push_back(Pct(b.TotalSyncOverhead() / b.TotalIteration()));
+  }
+  for (auto& row : rows) {
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "Expected shape (paper Fig. 15 / §6.7): map matching, prefetching, and map\n"
+               "updates run asynchronously and do not extend the iteration; the synchronous\n"
+               "policy overhead (context collection) stays a small share (< 5%) of the\n"
+               "iteration; Qwen iterations are much shorter than Mixtral/Phi.\n";
+  return 0;
+}

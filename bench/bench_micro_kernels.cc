@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) of the kernels on fMoE's control path: cosine searches
+// over the Expert Map Store, dedup inserts, the delta-threshold selection operator, gate
+// evaluation, and cache operations. These bound the per-iteration policy cost that Fig. 15
+// models as asynchronous work.
+#include <benchmark/benchmark.h>
+
+#include "src/cache/expert_cache.h"
+#include "src/core/map_store.h"
+#include "src/core/prefetcher.h"
+#include "src/moe/gate_simulator.h"
+#include "src/util/math.h"
+#include "src/util/rng.h"
+
+namespace fmoe {
+namespace {
+
+StoredIteration RandomRecord(const ModelConfig& model, Rng& rng, int embedding_dim) {
+  StoredIteration record;
+  record.map = ExpertMap(model.num_layers, model.experts_per_layer);
+  std::vector<double> row(static_cast<size_t>(model.experts_per_layer));
+  for (int l = 0; l < model.num_layers; ++l) {
+    for (double& v : row) {
+      v = rng.NextDouble();
+    }
+    NormalizeInPlace(row);
+    record.map.SetLayer(l, row);
+  }
+  record.embedding.resize(static_cast<size_t>(embedding_dim));
+  for (double& v : record.embedding) {
+    v = rng.NextGaussian();
+  }
+  return record;
+}
+
+ExpertMapStore FilledStore(const ModelConfig& model, size_t capacity, int embedding_dim) {
+  ExpertMapStore store(model, capacity, 3);
+  Rng rng(7);
+  for (size_t i = 0; i < capacity; ++i) {
+    store.Insert(RandomRecord(model, rng, embedding_dim));
+  }
+  return store;
+}
+
+void BM_SemanticSearch(benchmark::State& state) {
+  const ModelConfig model = MixtralConfig();
+  const int embedding_dim = 72;
+  const ExpertMapStore store = FilledStore(model, static_cast<size_t>(state.range(0)),
+                                           embedding_dim);
+  Rng rng(11);
+  std::vector<double> query(static_cast<size_t>(embedding_dim));
+  for (double& v : query) {
+    v = rng.NextGaussian();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.SemanticSearch(query));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SemanticSearch)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_TrajectorySearch(benchmark::State& state) {
+  const ModelConfig model = MixtralConfig();
+  const ExpertMapStore store = FilledStore(model, 512, 72);
+  Rng rng(13);
+  const int prefix_layers = static_cast<int>(state.range(0));
+  std::vector<double> prefix(static_cast<size_t>(prefix_layers * model.experts_per_layer));
+  for (double& v : prefix) {
+    v = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.TrajectorySearch(prefix, prefix_layers));
+  }
+}
+BENCHMARK(BM_TrajectorySearch)->Arg(4)->Arg(16)->Arg(31);
+
+void BM_StoreDedupInsert(benchmark::State& state) {
+  const ModelConfig model = MixtralConfig();
+  ExpertMapStore store = FilledStore(model, 512, 72);
+  Rng rng(17);
+  for (auto _ : state) {
+    store.Insert(RandomRecord(model, rng, 72));
+  }
+}
+BENCHMARK(BM_StoreDedupInsert);
+
+void BM_SelectExperts(benchmark::State& state) {
+  Rng rng(19);
+  std::vector<double> probs(static_cast<size_t>(state.range(0)));
+  for (double& v : probs) {
+    v = rng.NextDouble();
+  }
+  NormalizeInPlace(probs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelectExperts(probs, /*score=*/0.6, /*top_k=*/2, 5, 2, PrefetcherOptions{}));
+  }
+}
+BENCHMARK(BM_SelectExperts)->Arg(8)->Arg(60);
+
+void BM_GateDistribution(benchmark::State& state) {
+  const ModelConfig model = state.range(0) == 0 ? MixtralConfig() : QwenMoeConfig();
+  const GateSimulator gate(model, GateProfile{}, 23);
+  RequestRouting routing;
+  routing.seed = 99;
+  int iteration = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gate.Distribution(routing, iteration++, 5));
+  }
+}
+BENCHMARK(BM_GateDistribution)->Arg(0)->Arg(1);
+
+void BM_CacheInsertEvict(benchmark::State& state) {
+  PriorityLfuEvictionPolicy policy;
+  ExpertCache cache(100 * 10, &policy);  // 100 slots of 10 bytes.
+  Rng rng(29);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    CacheEntry entry;
+    entry.key = key++;
+    entry.bytes = 10;
+    entry.probability = rng.NextDouble();
+    entry.prefetch_pending = false;
+    std::vector<CacheEntry> evicted;
+    benchmark::DoNotOptimize(cache.Insert(entry, static_cast<double>(key), &evicted));
+  }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  Rng rng(31);
+  std::vector<double> a(static_cast<size_t>(state.range(0)));
+  std::vector<double> b(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.NextGaussian();
+    b[i] = rng.NextGaussian();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CosineSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_CosineSimilarity)->Arg(72)->Arg(256)->Arg(1440);
+
+}  // namespace
+}  // namespace fmoe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+#include "src/baselines/on_demand_policy.h"
+
+namespace fmoe {
+
+void OnDemandPolicy::OnGateOutput(EngineHandle& engine, const IterationContext& /*context*/,
+                                  int layer, const std::vector<double>& /*probs*/,
+                                  const std::vector<int>& /*activated*/) {
+  if (!options_.expert_agnostic) {
+    return;  // Expert-aware variant: the engine's demand path handles missing experts.
+  }
+  // Layer-granularity pull: every expert of the executing layer starts streaming now. The
+  // engine promotes the activated ones to demand transfers; the rest trail behind, occupying
+  // link bandwidth and cache slots — the cost of expert-agnosticism.
+  const ModelConfig& model = engine.model();
+  const double uniform = 1.0 / static_cast<double>(model.experts_per_layer);
+  for (int j = 0; j < model.experts_per_layer; ++j) {
+    engine.PrefetchAsync(ExpertId{layer, j}, uniform, uniform);
+  }
+}
+
+}  // namespace fmoe

@@ -1,0 +1,84 @@
+#include "src/baselines/speculative_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/math.h"
+
+namespace fmoe {
+
+SpeculativeOptions MixtralOffloadingOptions() {
+  SpeculativeOptions options;
+  options.label = "Mixtral-Offloading";
+  options.distance = 1;
+  options.synchronous = true;
+  options.prefetch_at_start = false;  // Needs hidden states; cannot speculate before layer 0.
+  options.extra_experts = 0;
+  options.decision_overhead_sec = 1.0e-4;  // Running the next layer's gate on current states.
+  return options;
+}
+
+SpeculativeOptions ProMoeOptions(int prefetch_distance) {
+  SpeculativeOptions options;
+  options.label = "ProMoE";
+  options.distance = prefetch_distance;
+  options.synchronous = false;  // Proactive, decoupled from the critical path.
+  options.prefetch_at_start = true;
+  options.extra_experts = 0;
+  options.decision_overhead_sec = 0.0;
+  options.predictor_skill = 0.55;  // Trained predictors hold accuracy across the stride.
+  return options;
+}
+
+SpeculativePolicy::SpeculativePolicy(const ModelConfig& model,
+                                     const SpeculativeOptions& options)
+    : model_(model), options_(options) {}
+
+void SpeculativePolicy::FetchPrediction(EngineHandle& engine, const IterationContext& context,
+                                        int target_layer, int distance) {
+  const int effective_distance = std::max(
+      1, static_cast<int>(std::lround(options_.predictor_skill * distance)));
+  const std::vector<double> predicted =
+      engine.SpeculativeGate(context.request->routing, context.iteration, target_layer,
+                             effective_distance);
+  const size_t count = static_cast<size_t>(model_.top_k) +
+                       static_cast<size_t>(std::max(options_.extra_experts, 0));
+  const std::vector<size_t> top = TopKIndices(predicted, count);
+  for (size_t idx : top) {
+    // Start every transfer first so they overlap across device links.
+    engine.PrefetchAsync(ExpertId{target_layer, static_cast<int>(idx)}, predicted[idx],
+                         predicted[idx] / static_cast<double>(std::max(distance, 1)));
+  }
+  if (options_.synchronous) {
+    // Synchronous speculation (Mixtral-Offloading): the forward pass blocks until every
+    // speculative load has landed.
+    for (size_t idx : top) {
+      engine.BlockingLoad(ExpertId{target_layer, static_cast<int>(idx)}, predicted[idx]);
+    }
+  }
+}
+
+void SpeculativePolicy::OnIterationStart(EngineHandle& engine,
+                                         const IterationContext& context) {
+  if (!options_.prefetch_at_start) {
+    return;
+  }
+  // Before layer 0 the predictor only has the input embedding; uncertainty grows with depth.
+  for (int target = 0; target < std::min(options_.distance, model_.num_layers); ++target) {
+    FetchPrediction(engine, context, target, target + 1);
+  }
+}
+
+void SpeculativePolicy::OnGateOutput(EngineHandle& engine, const IterationContext& context,
+                                     int layer, const std::vector<double>& /*probs*/,
+                                     const std::vector<int>& /*activated*/) {
+  if (options_.decision_overhead_sec > 0.0) {
+    engine.AddOverhead(OverheadCategory::kMapMatching, options_.decision_overhead_sec);
+  }
+  const int target = layer + options_.distance;
+  if (target < model_.num_layers) {
+    FetchPrediction(engine, context, target, options_.distance);
+  }
+}
+
+}  // namespace fmoe

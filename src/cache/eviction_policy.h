@@ -1,0 +1,63 @@
+// Eviction policies for the expert cache.
+//
+// The paper compares three (§6.5, Fig. 12b): LRU (Mixtral-Offloading), LFU (MoE-Infinity), and
+// fMoE's probability-weighted LFU with eviction priority 1 / (p_{l,j} * freq_{l,j}). A policy
+// assigns each cache entry an eviction score; the cache evicts the unpinned entry with the
+// highest score first.
+#ifndef FMOE_SRC_CACHE_EVICTION_POLICY_H_
+#define FMOE_SRC_CACHE_EVICTION_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace fmoe {
+
+// Bookkeeping the cache maintains per resident expert.
+struct CacheEntry {
+  uint64_t key = 0;        // Flat expert index.
+  uint64_t bytes = 0;
+  double ready_at = 0.0;   // Simulated time its host->device transfer completes.
+  double last_access = 0.0;
+  double frequency = 0.0;  // Aged cache-hit count (LFU signal); decays once per iteration.
+  double probability = 0.0;  // Activation probability from the matched expert map (fMoE).
+  int pin_count = 0;       // Pinned entries (in use / in flight) are not evictable.
+  bool prefetch_pending = true;  // True until the transfer has started on the link.
+  uint64_t transfer_tag = 0;     // Link-transfer tag of the pending prefetch (0 = none).
+  bool reduced_precision = false;  // Weights resident at reduced precision (lossy extension).
+};
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  virtual std::string name() const = 0;
+  // Higher score = evicted sooner.
+  virtual double EvictionScore(const CacheEntry& entry, double now) const = 0;
+};
+
+// Classic least-recently-used: evict the oldest access.
+class LruEvictionPolicy : public EvictionPolicy {
+ public:
+  std::string name() const override { return "LRU"; }
+  double EvictionScore(const CacheEntry& entry, double now) const override;
+};
+
+// Least-frequently-used (MoE-Infinity): evict the lowest hit count.
+class LfuEvictionPolicy : public EvictionPolicy {
+ public:
+  std::string name() const override { return "LFU"; }
+  double EvictionScore(const CacheEntry& entry, double now) const override;
+};
+
+// fMoE: PRI^evict = 1 / (p * freq); low-probability and rarely-hit experts go first.
+class PriorityLfuEvictionPolicy : public EvictionPolicy {
+ public:
+  std::string name() const override { return "fMoE-PriorityLFU"; }
+  double EvictionScore(const CacheEntry& entry, double now) const override;
+};
+
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(const std::string& name);
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_CACHE_EVICTION_POLICY_H_

@@ -1,0 +1,79 @@
+// Byte-budget expert cache (the GPU-resident working set of expert weights).
+//
+// The cache is purely mechanical: it tracks which experts are resident, how many bytes they
+// occupy, and who to evict when a new expert must fit. All *policy* (what to prefetch, which
+// probabilities to stamp on entries) lives in the offloading policies; all *timing* (when a
+// transfer completes) lives in the memsim link — the cache stores the resulting ready_at.
+#ifndef FMOE_SRC_CACHE_EXPERT_CACHE_H_
+#define FMOE_SRC_CACHE_EXPERT_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/eviction_policy.h"
+
+namespace fmoe {
+
+struct CacheStats {
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t rejected_insertions = 0;  // Did not fit even after evicting all unpinned entries.
+};
+
+class ExpertCache {
+ public:
+  ExpertCache(uint64_t capacity_bytes, const EvictionPolicy* policy);
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t used_bytes() const { return used_bytes_; }
+  size_t size() const { return entries_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+  bool Contains(uint64_t key) const { return entries_.contains(key); }
+  // nullptr when absent. The pointer is invalidated by Insert/Remove.
+  CacheEntry* Find(uint64_t key);
+  const CacheEntry* Find(uint64_t key) const;
+
+  // Inserts an entry (evicting by policy as needed). On success the new entry is resident and
+  // `evicted` (if non-null) receives the victims, which the caller must clean up (free GPU
+  // memory, cancel queued transfers). Returns false — with no state change — when the entry
+  // cannot fit even after evicting every unpinned entry, or when the key is already resident.
+  bool Insert(const CacheEntry& entry, double now, std::vector<CacheEntry>* evicted);
+
+  // Removes an entry outright (e.g. policy-driven offload). Returns the removed entry.
+  bool Remove(uint64_t key, CacheEntry* removed);
+
+  // Records a cache hit: bumps frequency and last-access time.
+  void Touch(uint64_t key, double now);
+
+  // Stamps the activation probability from a freshly matched expert map (fMoE eviction input).
+  void SetProbability(uint64_t key, double probability);
+
+  void Pin(uint64_t key);
+  void Unpin(uint64_t key);
+
+  // Ages all hit frequencies by `factor` in (0, 1]: freq *= factor. Without aging, LFU-style
+  // policies entrench the first working set forever; the engine decays once per iteration.
+  void DecayFrequencies(double factor);
+
+  // Keys ordered by descending eviction score (most evictable first); for tests/inspection.
+  std::vector<uint64_t> EvictionOrder(double now) const;
+
+  // All resident keys (unordered).
+  std::vector<uint64_t> Keys() const;
+
+ private:
+  // Picks the unpinned entry with the highest eviction score; returns false if none.
+  bool PickVictim(double now, uint64_t* victim) const;
+
+  uint64_t capacity_bytes_;
+  const EvictionPolicy* policy_;  // Not owned.
+  uint64_t used_bytes_ = 0;
+  std::unordered_map<uint64_t, CacheEntry> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_CACHE_EXPERT_CACHE_H_

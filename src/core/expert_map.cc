@@ -1,0 +1,66 @@
+#include "src/core/expert_map.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/math.h"
+
+namespace fmoe {
+
+ExpertMap::ExpertMap(int num_layers, int experts_per_layer)
+    : num_layers_(num_layers),
+      experts_per_layer_(experts_per_layer),
+      data_(static_cast<size_t>(num_layers) * static_cast<size_t>(experts_per_layer), 0.0) {
+  FMOE_CHECK(num_layers > 0 && experts_per_layer > 0);
+}
+
+ExpertMap ExpertMap::FromLayerProbs(const std::vector<std::vector<double>>& layer_probs) {
+  FMOE_CHECK(!layer_probs.empty());
+  ExpertMap map(static_cast<int>(layer_probs.size()),
+                static_cast<int>(layer_probs.front().size()));
+  for (size_t l = 0; l < layer_probs.size(); ++l) {
+    map.SetLayer(static_cast<int>(l), layer_probs[l]);
+  }
+  return map;
+}
+
+std::span<const double> ExpertMap::Layer(int layer) const {
+  FMOE_CHECK(layer >= 0 && layer < num_layers_);
+  return std::span<const double>(data_).subspan(
+      static_cast<size_t>(layer) * static_cast<size_t>(experts_per_layer_),
+      static_cast<size_t>(experts_per_layer_));
+}
+
+void ExpertMap::SetLayer(int layer, std::span<const double> probs) {
+  FMOE_CHECK(layer >= 0 && layer < num_layers_);
+  FMOE_CHECK(static_cast<int>(probs.size()) == experts_per_layer_);
+  std::copy(probs.begin(), probs.end(),
+            data_.begin() + static_cast<ptrdiff_t>(layer) * experts_per_layer_);
+}
+
+double ExpertMap::Probability(int layer, int expert) const {
+  FMOE_CHECK(layer >= 0 && layer < num_layers_);
+  FMOE_CHECK(expert >= 0 && expert < experts_per_layer_);
+  return data_[static_cast<size_t>(layer) * static_cast<size_t>(experts_per_layer_) +
+               static_cast<size_t>(expert)];
+}
+
+std::span<const double> ExpertMap::Prefix(int layers) const {
+  FMOE_CHECK(layers >= 0 && layers <= num_layers_);
+  return std::span<const double>(data_).subspan(
+      0, static_cast<size_t>(layers) * static_cast<size_t>(experts_per_layer_));
+}
+
+std::vector<uint64_t> ExpertMap::TopKCounts(int top_k) const {
+  std::vector<uint64_t> counts(static_cast<size_t>(num_layers_) *
+                                   static_cast<size_t>(experts_per_layer_),
+                               0);
+  for (int l = 0; l < num_layers_; ++l) {
+    for (size_t idx : TopKIndices(Layer(l), static_cast<size_t>(top_k))) {
+      counts[static_cast<size_t>(l) * static_cast<size_t>(experts_per_layer_) + idx]++;
+    }
+  }
+  return counts;
+}
+
+}  // namespace fmoe

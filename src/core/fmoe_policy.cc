@@ -1,0 +1,139 @@
+#include "src/core/fmoe_policy.h"
+
+#include "src/util/logging.h"
+
+namespace fmoe {
+
+FmoePolicy::FmoePolicy(const ModelConfig& model, int prefetch_distance,
+                       const FmoeOptions& options)
+    : model_(model),
+      prefetch_distance_(prefetch_distance),
+      options_(options),
+      store_(model, options.store_capacity, prefetch_distance, options.store_dedup) {}
+
+HybridMatcher& FmoePolicy::MatcherForSlot(int slot) {
+  FMOE_CHECK(slot >= 0);
+  while (matchers_.size() <= static_cast<size_t>(slot)) {
+    matchers_.push_back(std::make_unique<HybridMatcher>(&store_, model_, prefetch_distance_,
+                                                        options_.matcher));
+  }
+  return *matchers_[static_cast<size_t>(slot)];
+}
+
+void FmoePolicy::ReportSearchWork(EngineHandle& engine, HybridMatcher& matcher) {
+  const uint64_t flops = matcher.ConsumeSearchFlops();
+  if (flops > 0) {
+    engine.AddAsyncWork(OverheadCategory::kMapMatching,
+                        static_cast<double>(flops) / options_.search_throughput_flops);
+  }
+}
+
+void FmoePolicy::IssuePrefetches(EngineHandle& engine, HybridMatcher& matcher, int target_layer,
+                                 int current_layer) {
+  const Guidance guidance = matcher.GuidanceFor(target_layer);
+  if (!guidance.valid) {
+    return;
+  }
+  const std::vector<PrefetchCandidate> candidates =
+      SelectExperts(guidance.probs, guidance.score, model_.top_k, target_layer, current_layer,
+                    options_.prefetcher);
+  // Re-stamp the whole layer's distribution on resident experts so eviction priorities track
+  // the *current* matched map, not stale history (§4.5).
+  for (int j = 0; j < model_.experts_per_layer; ++j) {
+    engine.SetCachedProbability(ExpertId{target_layer, j},
+                                guidance.probs[static_cast<size_t>(j)]);
+  }
+  for (const PrefetchCandidate& candidate : candidates) {
+    const ExpertId id{target_layer, candidate.expert};
+    if (options_.low_precision_threshold > 0.0 &&
+        candidate.probability < options_.low_precision_threshold) {
+      // Less-critical expert: stream a reduced-precision copy (lossy extension).
+      engine.PrefetchAsyncSized(id, candidate.probability, candidate.priority,
+                                options_.low_precision_fraction);
+    } else {
+      engine.PrefetchAsync(id, candidate.probability, candidate.priority);
+    }
+  }
+  // Issuing transfers is a handful of queue operations per candidate — async, cheap.
+  engine.AddAsyncWork(OverheadCategory::kPrefetchIssue,
+                      1.0e-6 * static_cast<double>(candidates.size()));
+}
+
+void FmoePolicy::OnIterationStart(EngineHandle& engine, const IterationContext& context) {
+  engine.AddOverhead(OverheadCategory::kContextCollection,
+                     options_.context_collection_sec_per_layer * model_.num_layers);
+  HybridMatcher& matcher = MatcherForSlot(context.batch_slot);
+  matcher.BeginIteration(context.embedding);
+  ReportSearchWork(engine, matcher);
+  if (matcher.semantic_found()) {
+    semantic_score_sum_ += matcher.semantic_score();
+    ++semantic_score_count_;
+  }
+  // Semantic-matched guidance covers the layers no trajectory can reach yet (§4.2).
+  const int first_window = std::min(prefetch_distance_, model_.num_layers);
+  for (int target = 0; target < first_window; ++target) {
+    IssuePrefetches(engine, matcher, target, /*current_layer=*/-1);
+  }
+}
+
+void FmoePolicy::OnGateOutput(EngineHandle& engine, const IterationContext& context, int layer,
+                              const std::vector<double>& probs,
+                              const std::vector<int>& /*activated*/) {
+  HybridMatcher& matcher = MatcherForSlot(context.batch_slot);
+  matcher.ObserveLayer(layer, probs);
+  ReportSearchWork(engine, matcher);
+  if (matcher.trajectory_found()) {
+    trajectory_score_sum_ += matcher.trajectory_score();
+    ++trajectory_score_count_;
+  }
+  const int target = layer + prefetch_distance_;
+  if (target < model_.num_layers) {
+    IssuePrefetches(engine, matcher, target, layer);
+  }
+}
+
+void FmoePolicy::OnIterationEnd(EngineHandle& engine, const IterationContext& context,
+                                const std::vector<std::vector<double>>& layer_probs) {
+  if (log_scores_) {
+    const HybridMatcher& matcher = MatcherForSlot(context.batch_slot);
+    IterationScoreSample sample;
+    sample.semantic = matcher.semantic_score();
+    sample.semantic_valid = matcher.semantic_found();
+    sample.trajectory = matcher.trajectory_score();
+    sample.trajectory_valid = matcher.trajectory_found();
+    score_log_.push_back(sample);
+  }
+  StoredIteration record;
+  record.map = ExpertMap::FromLayerProbs(layer_probs);
+  record.embedding = context.embedding;
+  record.request_id = context.request->id;
+  record.iteration = context.iteration;
+  const uint64_t flops = store_.Insert(std::move(record));
+  engine.AddAsyncWork(OverheadCategory::kMapUpdate,
+                      static_cast<double>(flops) / options_.search_throughput_flops);
+}
+
+void FmoePolicy::Reset() {
+  store_.Clear();
+  matchers_.clear();
+  semantic_score_sum_ = 0.0;
+  semantic_score_count_ = 0;
+  trajectory_score_sum_ = 0.0;
+  trajectory_score_count_ = 0;
+}
+
+double FmoePolicy::MeanSemanticScore() const {
+  if (semantic_score_count_ == 0) {
+    return 0.0;
+  }
+  return semantic_score_sum_ / static_cast<double>(semantic_score_count_);
+}
+
+double FmoePolicy::MeanTrajectoryScore() const {
+  if (trajectory_score_count_ == 0) {
+    return 0.0;
+  }
+  return trajectory_score_sum_ / static_cast<double>(trajectory_score_count_);
+}
+
+}  // namespace fmoe

@@ -1,0 +1,100 @@
+// The full fMoE offloading policy (§3.2 workflow, steps 1–5).
+//
+// Per iteration: collect context (iteration embedding + observed trajectory), hybrid-match
+// expert maps from the store, prefetch experts selected by the dynamic δ threshold in
+// PRI^prefetch order, stamp matched probabilities on cached experts for priority eviction, and
+// insert the completed iteration's map back into the store (with RDY dedup at capacity).
+// Matching, prefetch issue, and store updates are asynchronous (reported via AddAsyncWork);
+// only the lightweight context collection runs synchronously — mirroring the pub-sub
+// architecture of §4.3 and the overhead accounting of Fig. 15.
+//
+// The ablation variants of Fig. 12a are configuration points here: Map(T) disables semantic
+// search, Map(T+S) disables the dynamic threshold, Map(T+S+δ) is the default.
+#ifndef FMOE_SRC_CORE_FMOE_POLICY_H_
+#define FMOE_SRC_CORE_FMOE_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/map_matcher.h"
+#include "src/core/map_store.h"
+#include "src/core/prefetcher.h"
+#include "src/serving/policy.h"
+
+namespace fmoe {
+
+struct FmoeOptions {
+  size_t store_capacity = 1000;  // 1K maps, the paper's operating point (§6.6).
+  StoreDedupPolicy store_dedup = StoreDedupPolicy::kRedundancy;
+  MatcherOptions matcher;
+  PrefetcherOptions prefetcher;
+  // Models the async matcher's speed (store searches run on spare CPU/GPU cycles).
+  double search_throughput_flops = 50.0e9;
+  // Synchronous context-collection cost per MoE layer per iteration (gathering L gate
+  // distributions + the iteration embedding; Fig. 15 keeps the total in the low ms).
+  double context_collection_sec_per_layer = 1.0e-5;
+  // Mixed-precision extension (Hobbit-style): prefetch candidates whose matched probability
+  // is below this threshold at reduced precision (half the bytes). 0 disables the feature
+  // (the paper's lossless default).
+  double low_precision_threshold = 0.0;
+  double low_precision_fraction = 0.5;
+  std::string variant_name = "fMoE";
+};
+
+class FmoePolicy : public OffloadPolicy {
+ public:
+  FmoePolicy(const ModelConfig& model, int prefetch_distance, const FmoeOptions& options);
+
+  std::string name() const override { return options_.variant_name; }
+
+  void OnIterationStart(EngineHandle& engine, const IterationContext& context) override;
+  void OnGateOutput(EngineHandle& engine, const IterationContext& context, int layer,
+                    const std::vector<double>& probs,
+                    const std::vector<int>& activated) override;
+  void OnIterationEnd(EngineHandle& engine, const IterationContext& context,
+                      const std::vector<std::vector<double>>& layer_probs) override;
+  void Reset() override;
+
+  const ExpertMapStore& store() const { return store_; }
+  ExpertMapStore& mutable_store() { return store_; }
+
+  // Mean similarity scores observed since construction/Reset (Fig. 14a).
+  double MeanSemanticScore() const;
+  double MeanTrajectoryScore() const;
+
+  // Optional per-iteration score log (zipped with the engine's iteration records to compute
+  // the similarity <-> hit-rate correlation of Fig. 8). Only meaningful with batch size 1.
+  struct IterationScoreSample {
+    double semantic = 0.0;
+    double trajectory = 0.0;
+    bool semantic_valid = false;
+    bool trajectory_valid = false;
+  };
+  void EnableScoreLog() { log_scores_ = true; }
+  const std::vector<IterationScoreSample>& score_log() const { return score_log_; }
+  void ClearScoreLog() { score_log_.clear(); }
+
+ private:
+  HybridMatcher& MatcherForSlot(int slot);
+  void IssuePrefetches(EngineHandle& engine, HybridMatcher& matcher, int target_layer,
+                       int current_layer);
+  void ReportSearchWork(EngineHandle& engine, HybridMatcher& matcher);
+
+  ModelConfig model_;
+  int prefetch_distance_;
+  FmoeOptions options_;
+  ExpertMapStore store_;
+  std::vector<std::unique_ptr<HybridMatcher>> matchers_;  // One per batch slot.
+
+  double semantic_score_sum_ = 0.0;
+  uint64_t semantic_score_count_ = 0;
+  double trajectory_score_sum_ = 0.0;
+  uint64_t trajectory_score_count_ = 0;
+  bool log_scores_ = false;
+  std::vector<IterationScoreSample> score_log_;
+};
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_CORE_FMOE_POLICY_H_

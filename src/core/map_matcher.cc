@@ -1,0 +1,82 @@
+#include "src/core/map_matcher.h"
+
+#include "src/util/logging.h"
+
+namespace fmoe {
+
+HybridMatcher::HybridMatcher(const ExpertMapStore* store, const ModelConfig& model,
+                             int prefetch_distance, const MatcherOptions& options)
+    : store_(store), model_(model), prefetch_distance_(prefetch_distance), options_(options) {
+  FMOE_CHECK(store != nullptr);
+  FMOE_CHECK(options.rematch_interval >= 1);
+  prefix_.reserve(static_cast<size_t>(model.num_layers) *
+                  static_cast<size_t>(model.experts_per_layer));
+}
+
+void HybridMatcher::BeginIteration(std::span<const double> embedding) {
+  prefix_.clear();
+  observed_layers_ = 0;
+  last_match_prefix_ = 0;
+  semantic_ = SearchResult{};
+  trajectory_ = SearchResult{};
+  if (options_.use_semantic) {
+    semantic_ = store_->SemanticSearch(embedding);
+    pending_flops_ += semantic_.flops;
+  }
+}
+
+void HybridMatcher::ObserveLayer(int layer, std::span<const double> probs) {
+  FMOE_CHECK_MSG(layer == observed_layers_, "layers must be observed in order; got "
+                                                << layer << " expected " << observed_layers_);
+  prefix_.insert(prefix_.end(), probs.begin(), probs.end());
+  ++observed_layers_;
+  if (!options_.use_trajectory) {
+    return;
+  }
+  // Re-match when the prefix has grown by the cadence (and at the first opportunity).
+  const bool first_match = last_match_prefix_ == 0;
+  const bool cadence_due = observed_layers_ - last_match_prefix_ >= options_.rematch_interval;
+  if (first_match || cadence_due) {
+    const SearchResult result = store_->TrajectorySearch(prefix_, observed_layers_);
+    pending_flops_ += result.flops;
+    if (result.found) {
+      trajectory_ = result;
+    }
+    last_match_prefix_ = observed_layers_;
+  }
+}
+
+Guidance HybridMatcher::GuidanceFor(int target_layer) const {
+  Guidance guidance;
+  if (target_layer < 0 || target_layer >= model_.num_layers) {
+    return guidance;
+  }
+  const SearchResult* source = nullptr;
+  if (target_layer < prefetch_distance_) {
+    if (options_.use_semantic && semantic_.found) {
+      source = &semantic_;
+    }
+  } else if (options_.use_trajectory && trajectory_.found) {
+    source = &trajectory_;
+  } else if (options_.use_semantic && semantic_.found) {
+    // Trajectory search unavailable (e.g. empty store early on): fall back to semantic.
+    source = &semantic_;
+  }
+  if (source == nullptr) {
+    return guidance;
+  }
+  const StoredIteration& record = store_->Get(source->index);
+  const std::span<const double> probs = record.map.Layer(target_layer);
+  guidance.valid = true;
+  guidance.score = source->score;
+  guidance.probs.assign(probs.begin(), probs.end());
+  return guidance;
+}
+
+uint64_t HybridMatcher::ConsumeSearchFlops() {
+  const uint64_t flops = pending_flops_;
+  pending_flops_ = 0;
+  return flops;
+}
+
+}  // namespace fmoe

@@ -1,0 +1,109 @@
+#include "src/core/map_store.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/math.h"
+
+namespace fmoe {
+
+ExpertMapStore::ExpertMapStore(const ModelConfig& model, size_t capacity, int prefetch_distance,
+                               StoreDedupPolicy dedup)
+    : model_(model), capacity_(capacity), prefetch_distance_(prefetch_distance), dedup_(dedup) {
+  FMOE_CHECK(capacity > 0);
+  FMOE_CHECK(prefetch_distance >= 0 && prefetch_distance <= model.num_layers);
+  records_.reserve(capacity);
+}
+
+const StoredIteration& ExpertMapStore::Get(size_t index) const {
+  FMOE_CHECK(index < records_.size());
+  return records_[index];
+}
+
+double ExpertMapStore::RedundancyScore(const StoredIteration& a, const StoredIteration& b) const {
+  const double L = static_cast<double>(model_.num_layers);
+  const double d = static_cast<double>(prefetch_distance_);
+  const double semantic = CosineSimilarity(a.embedding, b.embedding);
+  const double trajectory = CosineSimilarity(a.map.Flat(), b.map.Flat());
+  return (d / L) * semantic + ((L - d) / L) * trajectory;
+}
+
+uint64_t ExpertMapStore::Insert(StoredIteration record) {
+  if (records_.size() < capacity_) {
+    records_.push_back(std::move(record));
+    return 0;
+  }
+  if (dedup_ == StoreDedupPolicy::kFifo) {
+    records_[next_fifo_slot_] = std::move(record);
+    next_fifo_slot_ = (next_fifo_slot_ + 1) % capacity_;
+    return 0;
+  }
+  // At capacity: replace the stored record most redundant with the incoming one.
+  size_t most_redundant = 0;
+  double best_score = -2.0;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const double score = RedundancyScore(record, records_[i]);
+    if (score > best_score) {
+      best_score = score;
+      most_redundant = i;
+    }
+  }
+  const uint64_t flops =
+      records_.size() *
+      2ULL * (record.map.Flat().size() + record.embedding.size());
+  records_[most_redundant] = std::move(record);
+  return flops;
+}
+
+SearchResult ExpertMapStore::SemanticSearch(std::span<const double> embedding) const {
+  SearchResult result;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].embedding.size() != embedding.size()) {
+      continue;
+    }
+    const double score = CosineSimilarity(embedding, records_[i].embedding);
+    if (!result.found || score > result.score) {
+      result.found = true;
+      result.index = i;
+      result.score = score;
+    }
+  }
+  result.flops = records_.size() * 2ULL * embedding.size();
+  return result;
+}
+
+SearchResult ExpertMapStore::TrajectorySearch(std::span<const double> prefix,
+                                              int prefix_layers) const {
+  FMOE_CHECK(prefix.size() == static_cast<size_t>(prefix_layers) *
+                                  static_cast<size_t>(model_.experts_per_layer));
+  SearchResult result;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const std::span<const double> candidate = records_[i].map.Prefix(prefix_layers);
+    const double score = CosineSimilarity(prefix, candidate);
+    if (!result.found || score > result.score) {
+      result.found = true;
+      result.index = i;
+      result.score = score;
+    }
+  }
+  result.flops = records_.size() * 2ULL * prefix.size();
+  return result;
+}
+
+size_t ExpertMapStore::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const StoredIteration& record : records_) {
+    bytes += record.map.StorageBytes() + record.embedding.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+size_t ExpertMapStore::MemoryBytesAtCapacity(int embedding_dim) const {
+  const size_t per_record =
+      static_cast<size_t>(model_.num_layers) * static_cast<size_t>(model_.experts_per_layer) *
+          sizeof(float) +
+      static_cast<size_t>(embedding_dim) * sizeof(float);
+  return capacity_ * per_record;
+}
+
+}  // namespace fmoe

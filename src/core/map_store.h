@@ -1,0 +1,85 @@
+// Expert Map Store (§3.2, §4.4).
+//
+// Capacity-bounded store of historical iteration records — each an expert map plus the
+// iteration's semantic embedding. Supports the two searches of §4.2 (semantic cosine over
+// embeddings, trajectory cosine over map prefixes) and, when full, deduplicates on insert by
+// the unified redundancy score RDY = (d/L)·score_sem + ((L−d)/L)·score_traj: the stored record
+// most redundant with the incoming one is replaced, keeping the store diverse.
+#ifndef FMOE_SRC_CORE_MAP_STORE_H_
+#define FMOE_SRC_CORE_MAP_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/expert_map.h"
+#include "src/moe/model_config.h"
+
+namespace fmoe {
+
+struct StoredIteration {
+  ExpertMap map;
+  std::vector<double> embedding;  // Iteration-level semantic embedding.
+  uint64_t request_id = 0;
+  int iteration = 0;
+};
+
+// Replacement policy when the store is full: the paper's redundancy-score deduplication, or
+// plain FIFO replacement (ablation baseline).
+enum class StoreDedupPolicy {
+  kRedundancy,
+  kFifo,
+};
+
+struct SearchResult {
+  bool found = false;
+  size_t index = 0;
+  double score = 0.0;   // Cosine similarity in [-1, 1].
+  uint64_t flops = 0;   // Work the search performed (feeds the async-overhead model).
+};
+
+class ExpertMapStore {
+ public:
+  ExpertMapStore(const ModelConfig& model, size_t capacity, int prefetch_distance,
+                 StoreDedupPolicy dedup = StoreDedupPolicy::kRedundancy);
+
+  size_t size() const { return records_.size(); }
+  size_t capacity() const { return capacity_; }
+  const ModelConfig& model() const { return model_; }
+  int prefetch_distance() const { return prefetch_distance_; }
+  const StoredIteration& Get(size_t index) const;
+
+  // Inserts a record; when at capacity, replaces the most redundant existing record (by RDY).
+  // Returns the work performed (0 flops while filling, one full RDY pass when deduplicating).
+  uint64_t Insert(StoredIteration record);
+
+  // Highest-cosine record by iteration embedding (Eq. 4).
+  SearchResult SemanticSearch(std::span<const double> embedding) const;
+
+  // Highest-cosine record by trajectory prefix of `prefix_layers` layers (Eq. 5).
+  SearchResult TrajectorySearch(std::span<const double> prefix, int prefix_layers) const;
+
+  // fp32-equivalent CPU memory footprint of everything stored (Fig. 16).
+  size_t MemoryBytes() const;
+  // Footprint the store would have at full capacity (for sizing tables).
+  size_t MemoryBytesAtCapacity(int embedding_dim) const;
+
+  void Clear() {
+    records_.clear();
+    next_fifo_slot_ = 0;
+  }
+
+ private:
+  double RedundancyScore(const StoredIteration& a, const StoredIteration& b) const;
+
+  ModelConfig model_;
+  size_t capacity_;
+  int prefetch_distance_;
+  StoreDedupPolicy dedup_;
+  size_t next_fifo_slot_ = 0;
+  std::vector<StoredIteration> records_;
+};
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_CORE_MAP_STORE_H_

@@ -1,0 +1,171 @@
+#include "src/core/map_store_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace fmoe {
+namespace {
+
+// Host-endian format; the magic doubles as an endianness canary (a byte-swapped reader sees a
+// different magic and refuses the file).
+constexpr char kMagic[8] = {'F', 'M', 'O', 'E', 'S', 'T', 'R', '1'};
+
+struct StoreHeader {
+  char magic[8];
+  uint32_t num_layers = 0;
+  uint32_t experts_per_layer = 0;
+  uint32_t embedding_dim = 0;
+  uint32_t reserved = 0;
+  uint64_t record_count = 0;
+};
+
+template <typename T>
+bool WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+bool WriteFloats(std::ostream& out, std::span<const double> values) {
+  std::vector<float> buffer(values.begin(), values.end());
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size() * sizeof(float)));
+  return static_cast<bool>(out);
+}
+
+bool ReadFloats(std::istream& in, size_t count, std::vector<double>* values) {
+  std::vector<float> buffer(count);
+  in.read(reinterpret_cast<char*>(buffer.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in) {
+    return false;
+  }
+  values->assign(buffer.begin(), buffer.end());
+  return true;
+}
+
+}  // namespace
+
+StoreIoResult SaveStore(const ExpertMapStore& store, std::ostream& out) {
+  const ModelConfig& model = store.model();
+  StoreHeader header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.num_layers = static_cast<uint32_t>(model.num_layers);
+  header.experts_per_layer = static_cast<uint32_t>(model.experts_per_layer);
+  header.embedding_dim =
+      store.size() > 0 ? static_cast<uint32_t>(store.Get(0).embedding.size()) : 0;
+  header.record_count = store.size();
+
+  // All records must share the embedding dimension for a fixed record layout.
+  for (size_t i = 0; i < store.size(); ++i) {
+    if (store.Get(i).embedding.size() != header.embedding_dim) {
+      return StoreIoResult::Failure("records have inconsistent embedding dimensions");
+    }
+  }
+  if (!WritePod(out, header)) {
+    return StoreIoResult::Failure("failed to write header");
+  }
+
+  StoreIoResult result;
+  result.bytes = sizeof(header);
+  for (size_t i = 0; i < store.size(); ++i) {
+    const StoredIteration& record = store.Get(i);
+    const uint64_t request_id = record.request_id;
+    const int32_t iteration = record.iteration;
+    if (!WritePod(out, request_id) || !WritePod(out, iteration) ||
+        !WriteFloats(out, record.map.Flat()) || !WriteFloats(out, record.embedding)) {
+      return StoreIoResult::Failure("failed to write record " + std::to_string(i));
+    }
+    result.bytes += sizeof(request_id) + sizeof(iteration) +
+                    record.map.Flat().size() * sizeof(float) +
+                    record.embedding.size() * sizeof(float);
+    ++result.records;
+  }
+  return result;
+}
+
+StoreIoResult LoadStore(std::istream& in, ExpertMapStore* store) {
+  StoreHeader header;
+  if (!ReadPod(in, &header)) {
+    return StoreIoResult::Failure("failed to read header");
+  }
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return StoreIoResult::Failure("bad magic (not an fMoE store file, or wrong endianness)");
+  }
+  const ModelConfig& model = store->model();
+  if (header.num_layers != static_cast<uint32_t>(model.num_layers) ||
+      header.experts_per_layer != static_cast<uint32_t>(model.experts_per_layer)) {
+    std::ostringstream message;
+    message << "model shape mismatch: file has " << header.num_layers << "x"
+            << header.experts_per_layer << ", store expects " << model.num_layers << "x"
+            << model.experts_per_layer;
+    return StoreIoResult::Failure(message.str());
+  }
+
+  const size_t map_size = static_cast<size_t>(model.num_layers) *
+                          static_cast<size_t>(model.experts_per_layer);
+  StoreIoResult result;
+  result.bytes = sizeof(header);
+  // Parse into a staging buffer first so a truncated file leaves the store untouched.
+  std::vector<StoredIteration> staged;
+  staged.reserve(static_cast<size_t>(header.record_count));
+  for (uint64_t i = 0; i < header.record_count; ++i) {
+    uint64_t request_id = 0;
+    int32_t iteration = 0;
+    std::vector<double> map_values;
+    std::vector<double> embedding;
+    if (!ReadPod(in, &request_id) || !ReadPod(in, &iteration) ||
+        !ReadFloats(in, map_size, &map_values) ||
+        !ReadFloats(in, header.embedding_dim, &embedding)) {
+      return StoreIoResult::Failure("truncated file at record " + std::to_string(i));
+    }
+    StoredIteration record;
+    record.request_id = request_id;
+    record.iteration = iteration;
+    record.embedding = std::move(embedding);
+    record.map = ExpertMap(model.num_layers, model.experts_per_layer);
+    for (int layer = 0; layer < model.num_layers; ++layer) {
+      record.map.SetLayer(layer,
+                          std::span<const double>(map_values).subspan(
+                              static_cast<size_t>(layer) *
+                                  static_cast<size_t>(model.experts_per_layer),
+                              static_cast<size_t>(model.experts_per_layer)));
+    }
+    result.bytes += sizeof(request_id) + sizeof(iteration) +
+                    (map_size + header.embedding_dim) * sizeof(float);
+    staged.push_back(std::move(record));
+  }
+  for (StoredIteration& record : staged) {
+    store->Insert(std::move(record));
+    ++result.records;
+  }
+  return result;
+}
+
+StoreIoResult SaveStoreToFile(const ExpertMapStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return StoreIoResult::Failure("cannot open " + path + " for writing");
+  }
+  return SaveStore(store, out);
+}
+
+StoreIoResult LoadStoreFromFile(const std::string& path, ExpertMapStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return StoreIoResult::Failure("cannot open " + path + " for reading");
+  }
+  return LoadStore(in, store);
+}
+
+}  // namespace fmoe

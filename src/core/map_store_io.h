@@ -1,0 +1,50 @@
+// Binary persistence for the Expert Map Store.
+//
+// The paper's offline protocol builds the store from the history split of a dataset before
+// serving (§6.1); persisting it lets deployments pay that cost once. The format is a small
+// versioned header (magic, version, model shape, record count) followed by fixed-layout
+// records: maps and embeddings are stored as float32 — exactly the footprint the paper's
+// memory accounting assumes (Fig. 16).
+//
+// Loading validates the header against the target store's model shape and refuses mismatches;
+// it never trusts record counts beyond the stream's actual content.
+#ifndef FMOE_SRC_CORE_MAP_STORE_IO_H_
+#define FMOE_SRC_CORE_MAP_STORE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/map_store.h"
+
+namespace fmoe {
+
+// Outcome of a save/load; `ok` false means `error` describes the failure and the destination
+// store (for loads) is left unchanged.
+struct StoreIoResult {
+  bool ok = true;
+  std::string error;
+  size_t records = 0;
+  size_t bytes = 0;
+
+  static StoreIoResult Failure(std::string message) {
+    StoreIoResult result;
+    result.ok = false;
+    result.error = std::move(message);
+    return result;
+  }
+};
+
+// Writes every record of `store` to `out`.
+StoreIoResult SaveStore(const ExpertMapStore& store, std::ostream& out);
+
+// Reads records from `in` and inserts them into `store` (which must be constructed for the
+// same model shape; capacity may differ — excess records go through normal replacement).
+StoreIoResult LoadStore(std::istream& in, ExpertMapStore* store);
+
+// File-path conveniences.
+StoreIoResult SaveStoreToFile(const ExpertMapStore& store, const std::string& path);
+StoreIoResult LoadStoreFromFile(const std::string& path, ExpertMapStore* store);
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_CORE_MAP_STORE_IO_H_

@@ -1,0 +1,41 @@
+#include "src/core/prefetcher.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/math.h"
+
+namespace fmoe {
+
+double SelectionThreshold(double score) { return Clip(1.0 - score, 0.0, 1.0); }
+
+std::vector<PrefetchCandidate> SelectExperts(std::span<const double> probs, double score,
+                                             int top_k, int target_layer, int current_layer,
+                                             const PrefetcherOptions& options) {
+  FMOE_CHECK(target_layer > current_layer);
+  const size_t min_count =
+      static_cast<size_t>(top_k) + static_cast<size_t>(std::max(options.min_extra_experts, 0));
+  const double threshold = options.dynamic_threshold ? SelectionThreshold(score) : 0.0;
+  const std::vector<size_t> picked = MassCoverIndices(probs, threshold, min_count);
+
+  const double distance = static_cast<double>(target_layer - current_layer);
+  std::vector<PrefetchCandidate> candidates;
+  candidates.reserve(picked.size());
+  for (size_t idx : picked) {
+    PrefetchCandidate candidate;
+    candidate.expert = static_cast<int>(idx);
+    candidate.probability = probs[idx];
+    candidate.priority = probs[idx] / distance;
+    candidates.push_back(candidate);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const PrefetchCandidate& a, const PrefetchCandidate& b) {
+              if (a.priority != b.priority) {
+                return a.priority > b.priority;
+              }
+              return a.expert < b.expert;
+            });
+  return candidates;
+}
+
+}  // namespace fmoe

@@ -1,0 +1,38 @@
+// Similarity-aware expert selection and prefetch prioritisation (§4.3, §4.5).
+//
+// Given a matched distribution P_l with similarity score s, fMoE computes the dynamic
+// selection threshold δ_l = Clip(1 − s, 0, 1) and picks the smallest expert set whose summed
+// probability reaches δ_l, with at least K+1 experts (Eq. 6–8): low-confidence matches
+// prefetch more experts to hedge mispredictions, high-confidence matches prefetch fewer to
+// save memory. Selected experts carry the prefetch priority PRI = p / (l − l_now).
+#ifndef FMOE_SRC_CORE_PREFETCHER_H_
+#define FMOE_SRC_CORE_PREFETCHER_H_
+
+#include <span>
+#include <vector>
+
+namespace fmoe {
+
+struct PrefetchCandidate {
+  int expert = 0;
+  double probability = 0.0;
+  double priority = 0.0;  // PRI^prefetch; higher = transfer sooner.
+};
+
+struct PrefetcherOptions {
+  bool dynamic_threshold = true;  // The δ mechanism; false = fixed top-(K+1) (Map T+S ablation).
+  int min_extra_experts = 1;      // Selection floor is top_k + this (Constraint 8: |E| > K).
+};
+
+// Computes δ_l from a similarity score.
+double SelectionThreshold(double score);
+
+// Selects the experts to prefetch for `target_layer` issued from `current_layer` (use -1 at
+// iteration start). Candidates come back sorted by descending priority, ready to enqueue.
+std::vector<PrefetchCandidate> SelectExperts(std::span<const double> probs, double score,
+                                             int top_k, int target_layer, int current_layer,
+                                             const PrefetcherOptions& options);
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_CORE_PREFETCHER_H_

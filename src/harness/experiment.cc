@@ -1,0 +1,116 @@
+#include "src/harness/experiment.h"
+
+#include <algorithm>
+#include <span>
+
+#include "src/serving/engine.h"
+#include "src/util/logging.h"
+
+namespace fmoe {
+namespace {
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+DatasetProfile ApplyCaps(DatasetProfile dataset, const ExperimentOptions& options) {
+  if (options.max_decode_tokens > 0) {
+    dataset.max_decode_tokens = options.max_decode_tokens;
+  }
+  return dataset;
+}
+
+EngineConfig MakeEngineConfig(const ExperimentOptions& options, const SystemSpec& spec) {
+  EngineConfig config;
+  config.prefetch_distance = options.prefetch_distance;
+  config.gpu_count = options.gpu_count;
+  config.expert_cache_bytes = spec.preload_all ? 0 : ResolveCacheBytes(options);
+  config.cache_policy = spec.cache_policy;
+  config.preload_all = spec.preload_all;
+  config.gate = options.gate;
+  config.hardware = options.hardware;
+  config.seed = options.seed;
+  return config;
+}
+
+void FillResult(const std::string& system_name, const ExperimentOptions& options,
+                const ServingEngine& engine, const SystemSpec& spec, ExperimentResult* result) {
+  const RunMetrics& metrics = engine.metrics();
+  result->system = system_name;
+  result->mean_ttft = metrics.MeanTtft();
+  result->mean_tpot = metrics.MeanTpot();
+  result->hit_rate = metrics.HitRate();
+  result->mean_e2e = metrics.MeanEndToEnd();
+  result->iterations = metrics.iterations();
+  result->breakdown = metrics.breakdown();
+  result->cache_capacity_gb = static_cast<double>(engine.cache().capacity_bytes()) / kGiB;
+  result->cache_used_gb = static_cast<double>(engine.cache().used_bytes()) / kGiB;
+  result->request_latencies = metrics.EndToEndLatencies();
+  if (options.keep_iteration_records) {
+    result->iteration_records = metrics.iteration_records();
+  }
+  if (const auto* fmoe_policy = dynamic_cast<const FmoePolicy*>(spec.policy.get())) {
+    result->mean_semantic_score = fmoe_policy->MeanSemanticScore();
+    result->mean_trajectory_score = fmoe_policy->MeanTrajectoryScore();
+    if (options.enable_score_log) {
+      result->score_log = fmoe_policy->score_log();
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t ResolveCacheBytes(const ExperimentOptions& options) {
+  if (options.cache_bytes != 0) {
+    return options.cache_bytes;
+  }
+  const double total = static_cast<double>(options.model.total_expert_bytes());
+  return static_cast<uint64_t>(total * options.cache_fraction);
+}
+
+ExperimentResult RunOffline(const std::string& system_name, const ExperimentOptions& options) {
+  WorkloadGenerator generator(ApplyCaps(options.dataset, options), options.seed);
+  std::vector<Request> requests =
+      generator.Generate(options.history_requests + options.test_requests);
+  WorkloadSplit split = SplitWorkload(
+      std::move(requests),
+      static_cast<double>(options.history_requests) /
+          static_cast<double>(options.history_requests + options.test_requests));
+
+  SystemSpec spec = MakeSystem(system_name, options.model, options.prefetch_distance,
+                               options.store_capacity);
+  auto* fmoe_policy = dynamic_cast<FmoePolicy*>(spec.policy.get());
+  ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
+  engine.WarmupWithHistory(split.history);
+  if (fmoe_policy != nullptr && options.enable_score_log) {
+    fmoe_policy->EnableScoreLog();
+  }
+
+  const int batch = std::max(options.batch_size, 1);
+  for (size_t i = 0; i < split.test.size(); i += static_cast<size_t>(batch)) {
+    const size_t count = std::min(static_cast<size_t>(batch), split.test.size() - i);
+    engine.ServeBatch(std::span<const Request>(split.test.data() + i, count));
+  }
+
+  ExperimentResult result;
+  FillResult(system_name, options, engine, spec, &result);
+  return result;
+}
+
+ExperimentResult RunOnline(const std::string& system_name, const ExperimentOptions& options,
+                           const TraceProfile& trace, size_t request_count) {
+  TraceGenerator generator(trace, ApplyCaps(options.dataset, options), options.seed);
+  const std::vector<Request> requests = generator.Generate(request_count);
+
+  SystemSpec spec = MakeSystem(system_name, options.model, options.prefetch_distance,
+                               options.store_capacity);
+  ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
+  // Online protocol: empty history (§6.3) — serve straight off the trace, FIFO.
+  for (const Request& request : requests) {
+    engine.ServeRequest(request);
+  }
+
+  ExperimentResult result;
+  FillResult(system_name, options, engine, spec, &result);
+  return result;
+}
+
+}  // namespace fmoe

@@ -1,0 +1,70 @@
+// Experiment runners reproducing the paper's evaluation methodology (§6.1):
+//   * RunOffline — standard 7:3 protocol: history requests warm the policy (expert-map store /
+//     EAM) and the cache, then the test requests are served and measured.
+//   * RunOnline  — cold start (empty history) against an Azure-like arrival trace; requests are
+//     served in arrival order and end-to-end latencies include queueing (§6.3).
+// Every figure bench and the integration tests are thin loops over these two calls.
+#ifndef FMOE_SRC_HARNESS_EXPERIMENT_H_
+#define FMOE_SRC_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/fmoe_policy.h"
+#include "src/harness/systems.h"
+#include "src/moe/cost_model.h"
+#include "src/moe/gate_simulator.h"
+#include "src/serving/metrics.h"
+#include "src/serving/trace.h"
+#include "src/workload/workload.h"
+
+namespace fmoe {
+
+struct ExperimentOptions {
+  ModelConfig model;
+  DatasetProfile dataset;
+  size_t history_requests = 140;
+  size_t test_requests = 48;
+  int batch_size = 1;
+  int prefetch_distance = 3;        // d = 3, the paper's profiled optimum.
+  int gpu_count = 6;                // Paper testbed: six RTX 3090s.
+  uint64_t cache_bytes = 0;         // Expert-cache budget; 0 => cache_fraction of all experts.
+  double cache_fraction = 0.22;
+  int max_decode_tokens = 48;       // Speed cap on generation length; <= 0 keeps the dataset's.
+  uint64_t seed = 42;
+  size_t store_capacity = 512;      // fMoE map-store capacity for experiments.
+  bool enable_score_log = false;    // Per-iteration similarity log (Fig. 8).
+  bool keep_iteration_records = false;
+  GateProfile gate;
+  HardwareProfile hardware;
+};
+
+struct ExperimentResult {
+  std::string system;
+  double mean_ttft = 0.0;
+  double mean_tpot = 0.0;
+  double hit_rate = 0.0;
+  double mean_e2e = 0.0;
+  uint64_t iterations = 0;
+  LatencyBreakdown breakdown;
+  double cache_capacity_gb = 0.0;
+  double cache_used_gb = 0.0;  // Residency at the end of the run.
+  std::vector<double> request_latencies;  // End-to-end per request (Fig. 10 CDF).
+  std::vector<IterationRecord> iteration_records;
+  std::vector<FmoePolicy::IterationScoreSample> score_log;
+  double mean_semantic_score = 0.0;    // fMoE-family systems only.
+  double mean_trajectory_score = 0.0;  // fMoE-family systems only.
+};
+
+ExperimentResult RunOffline(const std::string& system_name, const ExperimentOptions& options);
+
+ExperimentResult RunOnline(const std::string& system_name, const ExperimentOptions& options,
+                           const TraceProfile& trace, size_t request_count);
+
+// Resolves the cache budget an options struct implies, in bytes.
+uint64_t ResolveCacheBytes(const ExperimentOptions& options);
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_HARNESS_EXPERIMENT_H_

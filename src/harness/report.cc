@@ -1,0 +1,124 @@
+#include "src/harness/report.h"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace fmoe {
+namespace {
+
+// JSON-safe number formatting: fixed precision, never locale-dependent.
+std::string Num(double value, int precision = 9) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteResultJson(const ExperimentResult& result, bool include_latencies,
+                     std::ostream& out) {
+  out << "{";
+  out << "\"system\":\"" << JsonEscape(result.system) << "\",";
+  out << "\"mean_ttft_s\":" << Num(result.mean_ttft) << ",";
+  out << "\"mean_tpot_s\":" << Num(result.mean_tpot) << ",";
+  out << "\"hit_rate\":" << Num(result.hit_rate) << ",";
+  out << "\"mean_e2e_s\":" << Num(result.mean_e2e) << ",";
+  out << "\"iterations\":" << result.iterations << ",";
+  out << "\"cache_capacity_gb\":" << Num(result.cache_capacity_gb) << ",";
+  out << "\"cache_used_gb\":" << Num(result.cache_used_gb) << ",";
+  out << "\"mean_semantic_score\":" << Num(result.mean_semantic_score) << ",";
+  out << "\"mean_trajectory_score\":" << Num(result.mean_trajectory_score) << ",";
+  const LatencyBreakdown& b = result.breakdown;
+  out << "\"breakdown\":{";
+  out << "\"attention_compute_s\":" << Num(b.attention_compute) << ",";
+  out << "\"expert_compute_s\":" << Num(b.expert_compute) << ",";
+  out << "\"demand_stall_s\":" << Num(b.demand_stall) << ",";
+  out << "\"layer_overhead_s\":" << Num(b.layer_overhead) << ",";
+  out << "\"sync_overhead_s\":{";
+  for (size_t i = 0; i < b.sync_overhead.size(); ++i) {
+    out << "\"" << OverheadCategoryName(static_cast<OverheadCategory>(i))
+        << "\":" << Num(b.sync_overhead[i]);
+    if (i + 1 < b.sync_overhead.size()) {
+      out << ",";
+    }
+  }
+  out << "},\"async_work_s\":{";
+  for (size_t i = 0; i < b.async_work.size(); ++i) {
+    out << "\"" << OverheadCategoryName(static_cast<OverheadCategory>(i))
+        << "\":" << Num(b.async_work[i]);
+    if (i + 1 < b.async_work.size()) {
+      out << ",";
+    }
+  }
+  out << "}}";
+  if (include_latencies) {
+    out << ",\"request_latencies_s\":[";
+    for (size_t i = 0; i < result.request_latencies.size(); ++i) {
+      out << Num(result.request_latencies[i]);
+      if (i + 1 < result.request_latencies.size()) {
+        out << ",";
+      }
+    }
+    out << "]";
+  }
+  out << "}";
+}
+
+void WriteResultsJson(const std::vector<ExperimentResult>& results, bool include_latencies,
+                      std::ostream& out) {
+  out << "[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    WriteResultJson(results[i], include_latencies, out);
+    if (i + 1 < results.size()) {
+      out << ",";
+    }
+  }
+  out << "]\n";
+}
+
+void WriteResultsCsv(const std::vector<ExperimentResult>& results, std::ostream& out) {
+  out << "system,ttft_s,tpot_s,hit_rate,e2e_s,iterations,cache_capacity_gb,cache_used_gb,"
+         "demand_stall_s,sync_overhead_s\n";
+  for (const ExperimentResult& result : results) {
+    out << result.system << "," << Num(result.mean_ttft) << "," << Num(result.mean_tpot) << ","
+        << Num(result.hit_rate) << "," << Num(result.mean_e2e) << "," << result.iterations
+        << "," << Num(result.cache_capacity_gb) << "," << Num(result.cache_used_gb) << ","
+        << Num(result.breakdown.demand_stall) << ","
+        << Num(result.breakdown.TotalSyncOverhead()) << "\n";
+  }
+}
+
+}  // namespace fmoe

@@ -1,0 +1,33 @@
+// Machine-readable experiment reports: JSON documents and CSV rows for ExperimentResult, so
+// external tooling (plotting scripts, dashboards) can consume runs without parsing tables.
+#ifndef FMOE_SRC_HARNESS_REPORT_H_
+#define FMOE_SRC_HARNESS_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+
+namespace fmoe {
+
+// Serialises one result as a JSON object (stable key order, no external dependencies).
+// `include_latencies` additionally embeds the per-request latency array (Fig. 10 CDF data).
+void WriteResultJson(const ExperimentResult& result, bool include_latencies,
+                     std::ostream& out);
+
+// Serialises several results as a JSON array.
+void WriteResultsJson(const std::vector<ExperimentResult>& results, bool include_latencies,
+                      std::ostream& out);
+
+// CSV with one row per result. Header:
+//   system,ttft_s,tpot_s,hit_rate,e2e_s,iterations,cache_capacity_gb,cache_used_gb,
+//   demand_stall_s,sync_overhead_s
+void WriteResultsCsv(const std::vector<ExperimentResult>& results, std::ostream& out);
+
+// Escapes a string for embedding in JSON (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_HARNESS_REPORT_H_

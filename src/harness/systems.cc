@@ -1,0 +1,120 @@
+#include "src/harness/systems.h"
+
+#include "src/baselines/eam_policy.h"
+#include "src/baselines/on_demand_policy.h"
+#include "src/baselines/speculative_policy.h"
+#include "src/core/fmoe_policy.h"
+#include "src/util/logging.h"
+
+namespace fmoe {
+namespace {
+
+SystemSpec FmoeVariant(const std::string& name, const ModelConfig& model, int distance,
+                       bool semantic, bool dynamic_threshold, const std::string& cache,
+                       size_t store_capacity,
+                       StoreDedupPolicy dedup = StoreDedupPolicy::kRedundancy) {
+  FmoeOptions options;
+  options.variant_name = name;
+  options.store_capacity = store_capacity;
+  options.store_dedup = dedup;
+  options.matcher.use_semantic = semantic;
+  options.matcher.use_trajectory = true;
+  options.prefetcher.dynamic_threshold = dynamic_threshold;
+  // Without the delta mechanism the ablation prefetches exactly the top-K of the matched map
+  // (what the baselines do); delta adds hedging with extra experts under low match confidence.
+  options.prefetcher.min_extra_experts = dynamic_threshold ? 1 : 0;
+  SystemSpec spec;
+  spec.name = name;
+  spec.cache_policy = cache;
+  spec.policy = std::make_unique<FmoePolicy>(model, distance, options);
+  return spec;
+}
+
+}  // namespace
+
+SystemSpec MakeSystem(const std::string& name, const ModelConfig& model, int prefetch_distance,
+                      size_t fmoe_store_capacity) {
+  SystemSpec spec;
+  spec.name = name;
+  if (name == "fMoE") {
+    return FmoeVariant(name, model, prefetch_distance, /*semantic=*/true,
+                       /*dynamic_threshold=*/true, "fMoE-PriorityLFU",
+                       fmoe_store_capacity);
+  }
+  if (name == "Map(T)") {
+    return FmoeVariant(name, model, prefetch_distance, /*semantic=*/false,
+                       /*dynamic_threshold=*/false, "fMoE-PriorityLFU",
+                       fmoe_store_capacity);
+  }
+  if (name == "Map(T+S)") {
+    return FmoeVariant(name, model, prefetch_distance, /*semantic=*/true,
+                       /*dynamic_threshold=*/false, "fMoE-PriorityLFU",
+                       fmoe_store_capacity);
+  }
+  if (name == "Map(T+S+d)") {
+    return FmoeVariant(name, model, prefetch_distance, /*semantic=*/true,
+                       /*dynamic_threshold=*/true, "fMoE-PriorityLFU",
+                       fmoe_store_capacity);
+  }
+  if (name == "fMoE-FIFOStore") {
+    return FmoeVariant(name, model, prefetch_distance, true, true, "fMoE-PriorityLFU",
+                       fmoe_store_capacity, StoreDedupPolicy::kFifo);
+  }
+  if (name == "fMoE-LRU") {
+    return FmoeVariant(name, model, prefetch_distance, true, true, "LRU",
+                       fmoe_store_capacity);
+  }
+  if (name == "fMoE-LFU") {
+    return FmoeVariant(name, model, prefetch_distance, true, true, "LFU",
+                       fmoe_store_capacity);
+  }
+  if (name == "MoE-Infinity") {
+    spec.cache_policy = "LFU";
+    spec.policy = std::make_unique<EamPolicy>(model, prefetch_distance, EamOptions{});
+    return spec;
+  }
+  if (name == "HitCount") {
+    EamOptions options;
+    options.label = "HitCount";
+    options.decision_overhead_sec = 0.0;  // Tracking ablation: isolate prediction quality.
+    spec.cache_policy = "fMoE-PriorityLFU";
+    spec.policy = std::make_unique<EamPolicy>(model, prefetch_distance, options);
+    return spec;
+  }
+  if (name == "ProMoE") {
+    spec.cache_policy = "LFU";
+    spec.policy =
+        std::make_unique<SpeculativePolicy>(model, ProMoeOptions(prefetch_distance));
+    return spec;
+  }
+  if (name == "Speculate") {
+    SpeculativeOptions options = ProMoeOptions(prefetch_distance);
+    options.label = "Speculate";
+    spec.cache_policy = "fMoE-PriorityLFU";
+    spec.policy = std::make_unique<SpeculativePolicy>(model, options);
+    return spec;
+  }
+  if (name == "Mixtral-Offloading") {
+    spec.cache_policy = "LRU";
+    spec.policy = std::make_unique<SpeculativePolicy>(model, MixtralOffloadingOptions());
+    return spec;
+  }
+  if (name == "DeepSpeed-Inference") {
+    spec.cache_policy = "LRU";
+    spec.policy = std::make_unique<OnDemandPolicy>();
+    return spec;
+  }
+  if (name == "No-offload") {
+    spec.cache_policy = "LFU";
+    spec.policy = std::make_unique<OnDemandPolicy>();
+    spec.preload_all = true;
+    return spec;
+  }
+  FMOE_CHECK_MSG(false, "unknown system: " << name);
+}
+
+std::vector<std::string> PaperSystemNames() {
+  return {"DeepSpeed-Inference", "Mixtral-Offloading", "ProMoE", "MoE-Infinity", "fMoE"};
+}
+
+}  // namespace fmoe

@@ -1,0 +1,40 @@
+// Virtual simulation clock.
+//
+// The whole reproduction runs in virtual time: the serving engine advances the clock by
+// analytic compute costs, and the PCIe link model schedules transfers on the same timeline.
+// This keeps every experiment deterministic and hardware-independent (see DESIGN.md §2).
+#ifndef FMOE_SRC_MEMSIM_CLOCK_H_
+#define FMOE_SRC_MEMSIM_CLOCK_H_
+
+#include "src/util/logging.h"
+
+namespace fmoe {
+
+// Time is expressed in seconds as double; the experiments operate at micro- to second scale,
+// where double precision is ample.
+class SimClock {
+ public:
+  double now() const { return now_; }
+
+  // Moves time forward by `dt` seconds (dt >= 0).
+  void Advance(double dt) {
+    FMOE_CHECK_MSG(dt >= 0.0, "negative time advance " << dt);
+    now_ += dt;
+  }
+
+  // Moves time forward to `t`; no-op if `t` is in the past.
+  void AdvanceTo(double t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+  void Reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_MEMSIM_CLOCK_H_

@@ -1,0 +1,80 @@
+#include "src/memsim/gpu.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace fmoe {
+
+GpuDevice::GpuDevice(int id, const GpuConfig& config)
+    : id_(id), config_(config), link_(config.link) {}
+
+bool GpuDevice::Allocate(uint64_t bytes) {
+  if (bytes > free_bytes()) {
+    return false;
+  }
+  used_bytes_ += bytes;
+  return true;
+}
+
+void GpuDevice::Free(uint64_t bytes) {
+  FMOE_CHECK_MSG(bytes <= used_bytes_, "freeing " << bytes << " with only " << used_bytes_
+                                                  << " allocated");
+  used_bytes_ -= bytes;
+}
+
+GpuCluster::GpuCluster(int device_count, const GpuConfig& config) {
+  FMOE_CHECK(device_count > 0);
+  devices_.reserve(static_cast<size_t>(device_count));
+  for (int i = 0; i < device_count; ++i) {
+    devices_.push_back(std::make_unique<GpuDevice>(i, config));
+  }
+}
+
+void GpuCluster::SetPlacement(PlacementStrategy strategy, uint64_t total_keys) {
+  placement_ = strategy;
+  if (strategy == PlacementStrategy::kLayerContiguous) {
+    FMOE_CHECK_MSG(total_keys > 0, "layer-contiguous placement needs the expert count");
+    keys_per_device_ = (total_keys + devices_.size() - 1) / devices_.size();
+  }
+}
+
+int GpuCluster::DeviceForKey(uint64_t key) const {
+  switch (placement_) {
+    case PlacementStrategy::kRoundRobin:
+      return static_cast<int>(key % devices_.size());
+    case PlacementStrategy::kLayerContiguous:
+      return static_cast<int>(
+          std::min(key / keys_per_device_, devices_.size() - 1));
+    case PlacementStrategy::kHashed: {
+      uint64_t state = key;
+      return static_cast<int>(SplitMix64(state) % devices_.size());
+    }
+  }
+  return 0;
+}
+
+uint64_t GpuCluster::total_memory_bytes() const {
+  uint64_t total = 0;
+  for (const auto& dev : devices_) {
+    total += dev->memory_bytes();
+  }
+  return total;
+}
+
+uint64_t GpuCluster::total_used_bytes() const {
+  uint64_t total = 0;
+  for (const auto& dev : devices_) {
+    total += dev->used_bytes();
+  }
+  return total;
+}
+
+void GpuCluster::Tick(double now) {
+  for (auto& dev : devices_) {
+    dev->link().Tick(now);
+  }
+}
+
+}  // namespace fmoe

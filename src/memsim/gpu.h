@@ -1,0 +1,87 @@
+// GPU device and cluster model.
+//
+// Matches the paper's testbed shape: a set of identical devices, each with private memory and
+// its own host link; experts are mapped to devices round-robin by a stable hash of the expert
+// id ("We use a hash map to assign expert IDs to different GPUs ... round-robin manner").
+// Memory accounting here is what grounds the expert-cache capacity limit (Eq. 3).
+#ifndef FMOE_SRC_MEMSIM_GPU_H_
+#define FMOE_SRC_MEMSIM_GPU_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/memsim/link.h"
+
+namespace fmoe {
+
+struct GpuConfig {
+  uint64_t memory_bytes = 24ULL << 30;  // RTX 3090: 24 GB.
+  LinkConfig link;
+};
+
+class GpuDevice {
+ public:
+  GpuDevice(int id, const GpuConfig& config);
+
+  int id() const { return id_; }
+  uint64_t memory_bytes() const { return config_.memory_bytes; }
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t free_bytes() const { return config_.memory_bytes - used_bytes_; }
+
+  // Reserve/release device memory. Allocate returns false (no change) on exhaustion.
+  bool Allocate(uint64_t bytes);
+  void Free(uint64_t bytes);
+
+  PcieLink& link() { return link_; }
+  const PcieLink& link() const { return link_; }
+
+ private:
+  int id_;
+  GpuConfig config_;
+  uint64_t used_bytes_ = 0;
+  PcieLink link_;
+};
+
+// How expert keys map to devices. Placement decides which host link an expert's transfers
+// use, so it shapes transfer parallelism: round-robin spreads one layer's experts across all
+// links (the paper's choice, §5); layer-contiguous packs whole layers per device (adjacent
+// layers contend for one link); hashed is round-robin with the structure scrambled.
+enum class PlacementStrategy {
+  kRoundRobin,
+  kLayerContiguous,
+  kHashed,
+};
+
+// Fixed-size homogeneous cluster with stable expert-to-device placement.
+class GpuCluster {
+ public:
+  GpuCluster(int device_count, const GpuConfig& config);
+
+  // Configures placement. `total_keys` (the model's expert count) is required by
+  // layer-contiguous placement to size the per-device blocks; pass 0 for other strategies.
+  void SetPlacement(PlacementStrategy strategy, uint64_t total_keys);
+
+  int device_count() const { return static_cast<int>(devices_.size()); }
+  GpuDevice& device(int idx) { return *devices_[static_cast<size_t>(idx)]; }
+  const GpuDevice& device(int idx) const { return *devices_[static_cast<size_t>(idx)]; }
+
+  // Device for an expert key (layer-major index) under the configured placement.
+  int DeviceForKey(uint64_t key) const;
+  GpuDevice& DeviceFor(uint64_t key) { return device(DeviceForKey(key)); }
+
+  uint64_t total_memory_bytes() const;
+  uint64_t total_used_bytes() const;
+
+  // Forwards Tick to every device link.
+  void Tick(double now);
+
+ private:
+  std::vector<std::unique_ptr<GpuDevice>> devices_;
+  PlacementStrategy placement_ = PlacementStrategy::kRoundRobin;
+  uint64_t keys_per_device_ = 0;  // Layer-contiguous block size.
+};
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_MEMSIM_GPU_H_

@@ -1,0 +1,86 @@
+#include "src/memsim/link.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace fmoe {
+
+PcieLink::PcieLink(const LinkConfig& config) : config_(config) {
+  FMOE_CHECK(config.bandwidth_bytes_per_sec > 0.0);
+  FMOE_CHECK(config.fixed_latency_sec >= 0.0);
+}
+
+double PcieLink::TransferDuration(uint64_t bytes) const {
+  return config_.fixed_latency_sec +
+         static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+}
+
+void PcieLink::EnqueuePrefetch(double now, uint64_t tag, uint64_t bytes) {
+  FMOE_CHECK_MSG(now + 1e-12 >= last_now_, "time moved backwards: " << now << " < " << last_now_);
+  Tick(now);
+  queue_.push_back(PendingTransfer{tag, bytes, now});
+  // A prefetch enqueued while the link is idle starts immediately.
+  StartEligiblePrefetches(now);
+}
+
+bool PcieLink::CancelQueuedPrefetch(uint64_t tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->tag == tag) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void PcieLink::StartEligiblePrefetches(double now) {
+  // A queued transfer starts at max(busy_until_, enqueue_time); it may only start once the
+  // simulation reaches that instant, so demand loads arriving earlier can still preempt it.
+  while (!queue_.empty()) {
+    const PendingTransfer& next = queue_.front();
+    const double start = std::max(busy_until_, next.enqueue_time);
+    if (start > now) {
+      break;
+    }
+    const double completion = start + TransferDuration(next.bytes);
+    busy_until_ = completion;
+    total_prefetch_bytes_ += next.bytes;
+    ++prefetch_count_;
+    if (on_complete_) {
+      on_complete_(next.tag, completion);
+    }
+    queue_.pop_front();
+  }
+}
+
+double PcieLink::DemandLoad(double now, uint64_t bytes) {
+  FMOE_CHECK_MSG(now + 1e-12 >= last_now_, "time moved backwards: " << now << " < " << last_now_);
+  Tick(now);
+  // The demand load waits only for the transfer already in flight (busy_until_ if in the
+  // future), never for queued prefetches — those are "paused" (stay queued behind it).
+  const double start = std::max(now, busy_until_);
+  const double completion = start + TransferDuration(bytes);
+  busy_until_ = completion;
+  total_demand_bytes_ += bytes;
+  ++demand_load_count_;
+  total_demand_wait_sec_ += completion - now;
+  last_now_ = now;
+  return completion;
+}
+
+void PcieLink::Tick(double now) {
+  FMOE_CHECK_MSG(now + 1e-12 >= last_now_, "time moved backwards: " << now << " < " << last_now_);
+  StartEligiblePrefetches(now);
+  last_now_ = std::max(last_now_, now);
+}
+
+void PcieLink::ResetStats() {
+  total_demand_bytes_ = 0;
+  total_prefetch_bytes_ = 0;
+  demand_load_count_ = 0;
+  prefetch_count_ = 0;
+  total_demand_wait_sec_ = 0.0;
+}
+
+}  // namespace fmoe

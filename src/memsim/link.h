@@ -1,0 +1,96 @@
+// Host-to-device transfer link model (PCIe).
+//
+// Semantics (matching the behaviour fMoE relies on, §4.5 of the paper):
+//   * Prefetch transfers are queued FIFO and start only when simulation time reaches the point
+//     where the link is free — i.e. they execute asynchronously, overlapping compute.
+//   * A demand (on-demand) load issued at time t first lets any transfer already in flight at t
+//     finish, then jumps ahead of every prefetch that has not yet started ("fMoE pauses all
+//     expert prefetching tasks and immediately loads missed experts").
+//   * Each transfer costs fixed_latency + bytes / bandwidth.
+//
+// The link does not own a clock; callers pass `now` explicitly, which must be non-decreasing
+// across calls (enforced). Completion of a prefetch is reported through a callback carrying the
+// opaque 64-bit tag supplied at enqueue time, fired during Tick()/DemandLoad() when simulated
+// time passes the completion instant.
+#ifndef FMOE_SRC_MEMSIM_LINK_H_
+#define FMOE_SRC_MEMSIM_LINK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace fmoe {
+
+struct LinkConfig {
+  double bandwidth_bytes_per_sec = 32.0e9;  // PCIe 4.0 x16 as in the paper's testbed.
+  double fixed_latency_sec = 15e-6;         // Per-transfer setup cost (driver + DMA launch).
+};
+
+class PcieLink {
+ public:
+  // `on_complete(tag, completion_time)` fires when a prefetch transfer finishes.
+  using CompletionCallback = std::function<void(uint64_t tag, double completion_time)>;
+
+  explicit PcieLink(const LinkConfig& config);
+
+  void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+
+  // Queues an asynchronous prefetch of `bytes` tagged `tag`. Returns immediately; the transfer
+  // starts when the link becomes free at or after `now`.
+  void EnqueuePrefetch(double now, uint64_t tag, uint64_t bytes);
+
+  // Cancels a queued (not yet started) prefetch with the given tag. Returns true if found.
+  bool CancelQueuedPrefetch(uint64_t tag);
+
+  // Synchronous high-priority load. Advances internal schedule, bypassing queued prefetches,
+  // and returns the completion time (>= now). In-flight transfers are not aborted.
+  double DemandLoad(double now, uint64_t bytes);
+
+  // Advances the internal schedule to `now`: starts queued prefetches whose start time has
+  // arrived and fires completion callbacks for transfers finished by `now`.
+  void Tick(double now);
+
+  // Duration a transfer of `bytes` occupies the link.
+  double TransferDuration(uint64_t bytes) const;
+
+  // Time at which the link next becomes free, given everything started so far.
+  double busy_until() const { return busy_until_; }
+
+  size_t queued_prefetch_count() const { return queue_.size(); }
+
+  // Cumulative accounting (for the latency-breakdown and overhead figures).
+  uint64_t total_demand_bytes() const { return total_demand_bytes_; }
+  uint64_t total_prefetch_bytes() const { return total_prefetch_bytes_; }
+  uint64_t demand_load_count() const { return demand_load_count_; }
+  uint64_t prefetch_count() const { return prefetch_count_; }
+  double total_demand_wait_sec() const { return total_demand_wait_sec_; }
+
+  void ResetStats();
+
+ private:
+  struct PendingTransfer {
+    uint64_t tag = 0;
+    uint64_t bytes = 0;
+    double enqueue_time = 0.0;
+  };
+
+  // Starts as many queued prefetches as fit before `now` (their start instants have passed).
+  void StartEligiblePrefetches(double now);
+
+  LinkConfig config_;
+  CompletionCallback on_complete_;
+  std::deque<PendingTransfer> queue_;
+  double busy_until_ = 0.0;
+  double last_now_ = 0.0;
+
+  uint64_t total_demand_bytes_ = 0;
+  uint64_t total_prefetch_bytes_ = 0;
+  uint64_t demand_load_count_ = 0;
+  uint64_t prefetch_count_ = 0;
+  double total_demand_wait_sec_ = 0.0;
+};
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_MEMSIM_LINK_H_

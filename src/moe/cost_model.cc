@@ -1,0 +1,41 @@
+#include "src/moe/cost_model.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace fmoe {
+
+CostModel::CostModel(const ModelConfig& config, const HardwareProfile& hw)
+    : config_(config), hw_(hw) {
+  FMOE_CHECK(hw.gpu_mem_bandwidth_bytes_per_sec > 0.0);
+  FMOE_CHECK(hw.gpu_effective_flops > 0.0);
+}
+
+double CostModel::Roofline(uint64_t bytes, double flops) const {
+  const double mem_time = static_cast<double>(bytes) / hw_.gpu_mem_bandwidth_bytes_per_sec;
+  const double compute_time = flops / hw_.gpu_effective_flops;
+  return std::max(mem_time, compute_time);
+}
+
+double CostModel::AttentionTime(int tokens) const {
+  // fp16: params = bytes / 2; forward FLOPs ~= 2 * params * tokens.
+  const double params = static_cast<double>(config_.attention_bytes_per_layer) / 2.0;
+  return Roofline(config_.attention_bytes_per_layer,
+                  2.0 * params * static_cast<double>(std::max(tokens, 1)));
+}
+
+double CostModel::ExpertComputeTime(int tokens_routed) const {
+  const double params = static_cast<double>(config_.expert_bytes) / 2.0;
+  return Roofline(config_.expert_bytes,
+                  2.0 * params * static_cast<double>(std::max(tokens_routed, 1)));
+}
+
+double CostModel::DecodeIterationComputeTime() const {
+  const double per_layer = AttentionTime(1) +
+                           static_cast<double>(config_.top_k) * ExpertComputeTime(1) +
+                           LayerOverhead();
+  return per_layer * static_cast<double>(config_.num_layers);
+}
+
+}  // namespace fmoe

@@ -1,0 +1,74 @@
+#include "src/moe/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/logging.h"
+#include "src/util/math.h"
+#include "src/util/rng.h"
+
+namespace fmoe {
+
+SemanticEmbedder::SemanticEmbedder(const ModelConfig& config, int num_clusters,
+                                   const EmbedderProfile& profile, uint64_t seed)
+    : config_(config), profile_(profile), seed_(seed) {
+  FMOE_CHECK(num_clusters > 0);
+  FMOE_CHECK(config.embedding_dim > 0);
+  Rng rng(seed);
+  centroids_.resize(static_cast<size_t>(num_clusters));
+  for (auto& centroid : centroids_) {
+    centroid.resize(static_cast<size_t>(config_.embedding_dim));
+    for (double& v : centroid) {
+      v = rng.NextGaussian();
+    }
+    const double norm = Norm(centroid);
+    for (double& v : centroid) {
+      v /= norm;
+    }
+  }
+}
+
+std::vector<double> SemanticEmbedder::PromptEmbedding(const RequestRouting& routing) const {
+  const auto& c0 = centroids_[static_cast<size_t>(routing.cluster) % centroids_.size()];
+  const auto& c1 = centroids_[static_cast<size_t>(routing.blend_cluster) % centroids_.size()];
+  const double w = Clip(routing.blend_weight, 0.0, 0.9);
+
+  std::vector<double> embedding(static_cast<size_t>(config_.embedding_dim));
+  Rng rng(routing.seed ^ seed_ ^ 0x5eedfeed5eedfeedULL);
+  // Noise is scaled so its expected *norm* (not per-dimension amplitude) is request_noise,
+  // keeping within-cluster similarity independent of the embedding dimension.
+  const double noise_scale =
+      profile_.request_noise / std::sqrt(static_cast<double>(config_.embedding_dim));
+  for (size_t i = 0; i < embedding.size(); ++i) {
+    embedding[i] = (1.0 - w) * c0[i] + w * c1[i] + noise_scale * rng.NextGaussian();
+  }
+  const double norm = Norm(embedding);
+  if (norm > 0.0) {
+    for (double& v : embedding) {
+      v /= norm;
+    }
+  }
+  return embedding;
+}
+
+std::vector<double> SemanticEmbedder::IterationEmbedding(const RequestRouting& routing,
+                                                         int iteration) const {
+  std::vector<double> embedding = PromptEmbedding(routing);
+  embedding.reserve(static_cast<size_t>(iteration_embedding_dim()));
+  // Positional component: harmonics of the iteration index relative to the expert count, the
+  // period of the gate's rotation (see GateSimulator).
+  const double period = static_cast<double>(config_.experts_per_layer) *
+                        static_cast<double>(std::max(profile_.phase_period, 1));
+  const double scale =
+      profile_.phase_weight / std::sqrt(static_cast<double>(2 * profile_.phase_harmonics));
+  for (int k = 1; k <= profile_.phase_harmonics; ++k) {
+    const double angle =
+        2.0 * std::numbers::pi * static_cast<double>(iteration) * static_cast<double>(k) / period;
+    embedding.push_back(scale * std::sin(angle));
+    embedding.push_back(scale * std::cos(angle));
+  }
+  return embedding;
+}
+
+}  // namespace fmoe

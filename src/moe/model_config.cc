@@ -1,0 +1,74 @@
+#include "src/moe/model_config.h"
+
+namespace fmoe {
+namespace {
+
+constexpr uint64_t kMega = 1000ULL * 1000ULL;
+
+}  // namespace
+
+ModelConfig MixtralConfig() {
+  ModelConfig cfg;
+  cfg.name = "Mixtral-8x7B";
+  cfg.num_layers = 32;
+  cfg.experts_per_layer = 8;
+  cfg.top_k = 2;
+  cfg.embedding_dim = 64;
+  // 46.7B total; ~1.4B dense (attention/embeddings); remaining 45.3B across 256 experts
+  // => ~177M params/expert, fp16 => ~354 MB.
+  cfg.expert_bytes = 354 * kMega;
+  cfg.attention_bytes_per_layer = 85 * kMega;  // ~42.5M params/layer dense, fp16.
+  cfg.total_params_b = 46.7;
+  cfg.active_params_b = 12.9;
+  return cfg;
+}
+
+ModelConfig QwenMoeConfig() {
+  ModelConfig cfg;
+  cfg.name = "Qwen1.5-MoE";
+  cfg.num_layers = 24;
+  cfg.experts_per_layer = 60;
+  cfg.top_k = 4;
+  cfg.embedding_dim = 64;
+  // 14.3B total; ~1.0B dense; 13.3B across 1440 experts => ~9.2M params/expert => ~18.5 MB.
+  cfg.expert_bytes = 18 * kMega + kMega / 2;
+  cfg.attention_bytes_per_layer = 80 * kMega;
+  cfg.total_params_b = 14.3;
+  cfg.active_params_b = 2.7;
+  return cfg;
+}
+
+ModelConfig PhiMoeConfig() {
+  ModelConfig cfg;
+  cfg.name = "Phi-3.5-MoE";
+  cfg.num_layers = 32;
+  cfg.experts_per_layer = 16;
+  cfg.top_k = 2;
+  cfg.embedding_dim = 64;
+  // 42B total; ~2B dense; 40B across 512 experts => ~78M params/expert => ~156 MB.
+  cfg.expert_bytes = 156 * kMega;
+  cfg.attention_bytes_per_layer = 120 * kMega;
+  cfg.total_params_b = 42.0;
+  cfg.active_params_b = 6.6;
+  return cfg;
+}
+
+std::vector<ModelConfig> AllPaperModels() {
+  return {MixtralConfig(), QwenMoeConfig(), PhiMoeConfig()};
+}
+
+ModelConfig TinyTestConfig() {
+  ModelConfig cfg;
+  cfg.name = "Tiny-Test";
+  cfg.num_layers = 4;
+  cfg.experts_per_layer = 6;
+  cfg.top_k = 2;
+  cfg.embedding_dim = 16;
+  cfg.expert_bytes = 8 * kMega;
+  cfg.attention_bytes_per_layer = 2 * kMega;
+  cfg.total_params_b = 0.1;
+  cfg.active_params_b = 0.04;
+  return cfg;
+}
+
+}  // namespace fmoe

@@ -1,0 +1,489 @@
+#include "src/serving/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "src/util/logging.h"
+#include "src/util/math.h"
+
+namespace fmoe {
+namespace {
+
+constexpr double kInfiniteTime = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ServingEngine::ServingEngine(const ModelConfig& model, const EngineConfig& config,
+                             OffloadPolicy* policy)
+    : model_(model),
+      config_(config),
+      policy_(policy),
+      gate_(model, config.gate, config.seed),
+      embedder_(model, config.gate.num_clusters,
+                [&config] {
+                  EmbedderProfile profile = config.embedder;
+                  profile.phase_period = config.gate.phase_period;
+                  return profile;
+                }(),
+                config.seed ^ 0x9e3779b9ULL),
+      cost_(model, config.hardware),
+      cluster_(config.gpu_count, config.gpu),
+      eviction_policy_(MakeEvictionPolicy(config.cache_policy)),
+      cache_(config.expert_cache_bytes == 0 ? model.total_expert_bytes()
+                                            : config.expert_cache_bytes,
+             eviction_policy_.get()) {
+  FMOE_CHECK(policy != nullptr);
+  FMOE_CHECK(config.prefetch_distance >= 1);
+  cluster_.SetPlacement(config.placement, static_cast<uint64_t>(model.total_experts()));
+  // Wire prefetch-start events from every device link back into cache bookkeeping.
+  for (int dev = 0; dev < cluster_.device_count(); ++dev) {
+    cluster_.device(dev).link().set_completion_callback(
+        [this, dev](uint64_t tag, double completion) {
+          OnTransferScheduled(dev, tag, completion);
+        });
+  }
+  if (config_.preload_all) {
+    PreloadAllExperts();
+  }
+}
+
+void ServingEngine::PreloadAllExperts() {
+  for (int l = 0; l < model_.num_layers; ++l) {
+    for (int j = 0; j < model_.experts_per_layer; ++j) {
+      const uint64_t key = KeyOf(ExpertId{l, j});
+      CacheEntry entry;
+      entry.key = key;
+      entry.bytes = model_.expert_bytes;
+      entry.ready_at = 0.0;
+      entry.prefetch_pending = false;
+      const bool inserted = cache_.Insert(entry, 0.0, nullptr);
+      FMOE_CHECK_MSG(inserted, "preload_all requires the cache to fit every expert");
+      const bool allocated = cluster_.DeviceFor(key).Allocate(model_.expert_bytes);
+      FMOE_CHECK_MSG(allocated, "preload_all exceeds GPU memory");
+    }
+  }
+}
+
+void ServingEngine::OnTransferScheduled(int /*device*/, uint64_t tag, double completion) {
+  const auto it = transfer_key_by_tag_.find(tag);
+  if (it == transfer_key_by_tag_.end()) {
+    return;  // Transfer belonged to an entry evicted before it started.
+  }
+  const uint64_t key = it->second;
+  transfer_key_by_tag_.erase(it);
+  CacheEntry* entry = cache_.Find(key);
+  if (entry != nullptr && entry->transfer_tag == tag) {
+    entry->ready_at = completion;
+    entry->prefetch_pending = false;
+    entry->transfer_tag = 0;
+  }
+}
+
+void ServingEngine::CleanupEvicted(const std::vector<CacheEntry>& evicted) {
+  for (const CacheEntry& victim : evicted) {
+    if (victim.prefetch_pending && victim.transfer_tag != 0) {
+      LinkFor(victim.key).CancelQueuedPrefetch(victim.transfer_tag);
+      transfer_key_by_tag_.erase(victim.transfer_tag);
+    }
+    cluster_.DeviceFor(victim.key).Free(victim.bytes);
+  }
+}
+
+void ServingEngine::PrefetchAsync(ExpertId id, double probability, double priority) {
+  PrefetchAsyncSized(id, probability, priority, 1.0);
+}
+
+void ServingEngine::PrefetchAsyncSized(ExpertId id, double probability, double /*priority*/,
+                                       double size_fraction) {
+  // NOTE: the priority argument is an ordering hint — transfers start in call order, so
+  // policies issue PrefetchAsync calls sorted by descending priority (fMoE sorts by
+  // PRI^prefetch = p / (l - l_now), §4.5).
+  FMOE_CHECK(size_fraction > 0.0 && size_fraction <= 1.0);
+  const uint64_t key = KeyOf(id);
+  if (CacheEntry* existing = cache_.Find(key)) {
+    // Current guidance supersedes stale stamps. A resident reduced-precision copy is NOT
+    // re-transferred at full precision here — upgrading would cost a full transfer for an
+    // expert already servable; it upgrades naturally after eviction.
+    existing->probability = probability;
+    return;
+  }
+  CacheEntry entry;
+  entry.key = key;
+  entry.bytes = std::max<uint64_t>(
+      1, static_cast<uint64_t>(size_fraction * static_cast<double>(model_.expert_bytes)));
+  entry.reduced_precision = size_fraction < 1.0;
+  entry.ready_at = kInfiniteTime;
+  entry.prefetch_pending = true;
+  entry.probability = probability;
+  entry.last_access = clock_.now();
+  const uint64_t tag = next_transfer_tag_++;
+  entry.transfer_tag = tag;
+  std::vector<CacheEntry> evicted;
+  if (!cache_.Insert(entry, clock_.now(), &evicted)) {
+    return;  // No room (everything pinned or entry larger than the budget): skip prefetch.
+  }
+  CleanupEvicted(evicted);
+  GpuDevice& device = cluster_.DeviceFor(key);
+  const bool allocated = device.Allocate(entry.bytes);
+  FMOE_CHECK_MSG(allocated, "GPU memory exhausted; configure devices >= cache budget");
+  transfer_key_by_tag_[tag] = key;
+  // Hold the inbound expert until its layer runs: an eviction before first use would waste
+  // the transfer and (for frequency-based policies) systematically victimise fresh entries.
+  // Capped at half the cache so pins cannot starve residency on small budgets.
+  const uint64_t max_pinned = cache_.capacity_bytes() / (2 * model_.expert_bytes);
+  if (prefetch_pinned_.size() < max_pinned) {
+    cache_.Pin(key);
+    prefetch_pinned_.insert(key);
+  }
+  device.link().EnqueuePrefetch(clock_.now(), tag, entry.bytes);
+}
+
+void ServingEngine::ReleasePrefetchPins(int completed_layer) {
+  for (auto it = prefetch_pinned_.begin(); it != prefetch_pinned_.end();) {
+    const int layer = static_cast<int>(*it / static_cast<uint64_t>(model_.experts_per_layer));
+    if (completed_layer < 0 || layer <= completed_layer) {
+      cache_.Unpin(*it);
+      it = prefetch_pinned_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ServingEngine::BlockingLoad(ExpertId id, double probability) {
+  const uint64_t key = KeyOf(id);
+  PcieLink& link = LinkFor(key);
+  link.Tick(clock_.now());
+  CacheEntry* entry = cache_.Find(key);
+  double ready = 0.0;
+  if (entry != nullptr && !entry->prefetch_pending) {
+    if (entry->ready_at <= clock_.now()) {
+      entry->probability = probability;
+      return;  // Already resident and ready.
+    }
+    ready = entry->ready_at;  // In flight: wait for it.
+  } else if (entry != nullptr) {
+    // Queued but not started: promote to a demand transfer.
+    link.CancelQueuedPrefetch(entry->transfer_tag);
+    transfer_key_by_tag_.erase(entry->transfer_tag);
+    entry->transfer_tag = 0;
+    ready = link.DemandLoad(clock_.now(), entry->bytes);
+    entry->ready_at = ready;
+    entry->prefetch_pending = false;
+  } else {
+    ready = link.DemandLoad(clock_.now(), model_.expert_bytes);
+    CacheEntry fresh;
+    fresh.key = key;
+    fresh.bytes = model_.expert_bytes;
+    fresh.ready_at = ready;
+    fresh.prefetch_pending = false;
+    fresh.probability = probability;
+    fresh.last_access = clock_.now();
+    std::vector<CacheEntry> evicted;
+    if (cache_.Insert(fresh, clock_.now(), &evicted)) {
+      CleanupEvicted(evicted);
+      const bool allocated = cluster_.DeviceFor(key).Allocate(model_.expert_bytes);
+      FMOE_CHECK(allocated);
+    }
+  }
+  const double stall = std::max(0.0, ready - clock_.now());
+  clock_.AdvanceTo(ready);
+  metrics_.breakdown().sync_overhead[static_cast<size_t>(OverheadCategory::kPrefetchIssue)] +=
+      stall;
+  if (CacheEntry* resident = cache_.Find(key)) {
+    resident->probability = probability;
+  }
+}
+
+bool ServingEngine::IsCached(ExpertId id) const { return cache_.Contains(KeyOf(id)); }
+
+void ServingEngine::SetCachedProbability(ExpertId id, double probability) {
+  cache_.SetProbability(KeyOf(id), probability);
+}
+
+std::vector<double> ServingEngine::SpeculativeGate(const RequestRouting& routing, int iteration,
+                                                   int target_layer, int distance) const {
+  return gate_.SpeculativeDistribution(routing, iteration, target_layer, distance);
+}
+
+void ServingEngine::AddOverhead(OverheadCategory category, double seconds) {
+  FMOE_CHECK(seconds >= 0.0);
+  clock_.Advance(seconds);
+  metrics_.breakdown().sync_overhead[static_cast<size_t>(category)] += seconds;
+}
+
+void ServingEngine::AddAsyncWork(OverheadCategory category, double seconds) {
+  FMOE_CHECK(seconds >= 0.0);
+  metrics_.breakdown().async_work[static_cast<size_t>(category)] += seconds;
+}
+
+ServingEngine::ExpertJob ServingEngine::IssueExpert(ExpertId id, int tokens_routed) {
+  const uint64_t key = KeyOf(id);
+  PcieLink& link = LinkFor(key);
+  link.Tick(clock_.now());
+
+  ExpertJob job;
+  job.id = id;
+  job.tokens_routed = tokens_routed;
+  job.ready_at = clock_.now();
+
+  CacheEntry* entry = cache_.Find(key);
+  if (entry == nullptr) {
+    // Full miss: on-demand load. If the entry cannot be cached (budget smaller than one
+    // expert, or everything pinned) the weights are streamed through a transient buffer —
+    // the transfer cost is identical either way.
+    job.ready_at = link.DemandLoad(clock_.now(), model_.expert_bytes);
+    CacheEntry fresh;
+    fresh.key = key;
+    fresh.bytes = model_.expert_bytes;
+    fresh.ready_at = job.ready_at;
+    fresh.prefetch_pending = false;
+    fresh.last_access = clock_.now();
+    std::vector<CacheEntry> evicted;
+    if (cache_.Insert(fresh, clock_.now(), &evicted)) {
+      CleanupEvicted(evicted);
+      const bool allocated = cluster_.DeviceFor(key).Allocate(model_.expert_bytes);
+      FMOE_CHECK(allocated);
+    }
+  } else if (entry->prefetch_pending) {
+    // Prefetch was enqueued but its transfer never started: promote to a demand load, which
+    // jumps ahead of all queued prefetches ("pauses all expert prefetching tasks", §4.5).
+    link.CancelQueuedPrefetch(entry->transfer_tag);
+    transfer_key_by_tag_.erase(entry->transfer_tag);
+    entry->transfer_tag = 0;
+    job.ready_at = link.DemandLoad(clock_.now(), entry->bytes);
+    entry->ready_at = job.ready_at;
+    entry->prefetch_pending = false;
+  } else if (entry->ready_at > clock_.now()) {
+    // Prefetch in flight but late: wait out the remainder. Still a miss by the paper's
+    // definition (weights not available when the gate asked), but cheaper than a full load.
+    job.ready_at = entry->ready_at;
+  } else {
+    job.hit = true;
+  }
+
+  // Pin residents so this layer's later issues cannot evict them before they compute.
+  if (cache_.Contains(key)) {
+    job.resident = true;
+    cache_.Pin(key);
+  }
+  return job;
+}
+
+void ServingEngine::CompleteExpert(const ExpertJob& job) {
+  const uint64_t key = KeyOf(job.id);
+  // All of a layer's demand transfers were issued up front, so they proceed in parallel on
+  // their device links; the compute loop only waits out whatever has not yet landed.
+  const double stall = std::max(0.0, job.ready_at - clock_.now());
+  clock_.AdvanceTo(job.ready_at);
+  metrics_.breakdown().demand_stall += stall;
+  if (job.hit) {
+    metrics_.RecordHit();
+    if (const CacheEntry* entry = cache_.Find(key);
+        entry != nullptr && entry->reduced_precision) {
+      metrics_.RecordLowPrecisionHit();
+    }
+  } else {
+    metrics_.RecordMiss();
+  }
+  if (job.resident) {
+    cache_.Touch(key, clock_.now());
+  }
+  metrics_.breakdown().expert_compute += cost_.ExpertComputeTime(job.tokens_routed);
+  clock_.Advance(cost_.ExpertComputeTime(job.tokens_routed));
+  if (job.resident) {
+    cache_.Unpin(key);
+  }
+}
+
+double ServingEngine::RunIteration(std::vector<BatchMember*>& active) {
+  const double iteration_start = clock_.now();
+  const uint64_t hits_before = metrics_.expert_hits();
+  const uint64_t misses_before = metrics_.expert_misses();
+  bool all_prefill = true;
+  for (const BatchMember* member : active) {
+    all_prefill &= member->next_iteration == 0;
+  }
+
+  for (BatchMember* member : active) {
+    member->context.iteration = member->next_iteration;
+    member->context.embedding =
+        embedder_.IterationEmbedding(member->request.routing, member->next_iteration);
+    policy_->OnIterationStart(*this, member->context);
+  }
+
+  std::vector<std::vector<std::vector<double>>> layer_probs(active.size());
+  for (auto& probs : layer_probs) {
+    probs.reserve(static_cast<size_t>(model_.num_layers));
+  }
+
+  for (int layer = 0; layer < model_.num_layers; ++layer) {
+    int attention_tokens = 0;
+    for (const BatchMember* member : active) {
+      attention_tokens += member->next_iteration == 0 ? member->request.prompt_tokens : 1;
+    }
+    const double attention_time = cost_.AttentionTime(attention_tokens);
+    metrics_.breakdown().attention_compute += attention_time;
+    clock_.Advance(attention_time);
+
+    // Gate outputs, policy hooks, and the union of activated experts with routed tokens.
+    std::map<int, int> tokens_by_expert;
+    for (size_t m = 0; m < active.size(); ++m) {
+      BatchMember* member = active[m];
+      const RequestRouting& routing = member->request.routing;
+      const int iteration = member->next_iteration;
+      const bool is_prefill = iteration == 0;
+      std::vector<double> probs = gate_.Distribution(routing, iteration, layer);
+      std::vector<int> activated;
+      if (is_prefill) {
+        activated =
+            gate_.ActivatedExperts(routing, iteration, layer, member->request.prompt_tokens);
+      } else {
+        const std::vector<size_t> top =
+            TopKIndices(probs, static_cast<size_t>(model_.top_k));
+        activated.assign(top.begin(), top.end());
+        std::sort(activated.begin(), activated.end());
+      }
+      policy_->OnGateOutput(*this, member->context, layer, probs, activated);
+      const int tokens_per_expert =
+          is_prefill ? std::max(1, member->request.prompt_tokens * model_.top_k /
+                                       std::max<int>(1, static_cast<int>(activated.size())))
+                     : 1;
+      for (int expert : activated) {
+        tokens_by_expert[expert] += tokens_per_expert;
+      }
+      layer_probs[m].push_back(std::move(probs));
+    }
+
+    // Two-phase serving: issue every demand transfer first (they overlap across device
+    // links), then wait-and-compute expert by expert.
+    std::vector<ExpertJob> jobs;
+    jobs.reserve(tokens_by_expert.size());
+    for (const auto& [expert, tokens] : tokens_by_expert) {
+      jobs.push_back(IssueExpert(ExpertId{layer, expert}, tokens));
+    }
+    for (const ExpertJob& job : jobs) {
+      CompleteExpert(job);
+    }
+    ReleasePrefetchPins(layer);
+    metrics_.breakdown().layer_overhead += cost_.LayerOverhead();
+    clock_.Advance(cost_.LayerOverhead());
+  }
+
+  for (size_t m = 0; m < active.size(); ++m) {
+    policy_->OnIterationEnd(*this, active[m]->context, layer_probs[m]);
+  }
+  ReleasePrefetchPins(-1);
+  cache_.DecayFrequencies(config_.frequency_decay);
+  cluster_.Tick(clock_.now());
+
+  const double duration = clock_.now() - iteration_start;
+  metrics_.RecordIteration(duration, all_prefill, metrics_.expert_hits() - hits_before,
+                           metrics_.expert_misses() - misses_before);
+  return duration;
+}
+
+void ServingEngine::AdmitRequest(const Request& request) {
+  clock_.AdvanceTo(request.arrival_time);
+  auto member = std::make_unique<BatchMember>();
+  member->request = request;
+  member->context.request = &member->request;
+  member->context.iteration = 0;
+  if (!free_slots_.empty()) {
+    member->context.batch_slot = *free_slots_.begin();
+    free_slots_.erase(free_slots_.begin());
+  } else {
+    member->context.batch_slot = next_slot_++;
+  }
+  member->context.embedding = embedder_.IterationEmbedding(request.routing, 0);
+  member->total_iterations = 1 + request.decode_tokens;
+  member->metrics.request_id = request.id;
+  member->metrics.arrival_time = request.arrival_time;
+  member->metrics.start_time = clock_.now();
+  policy_->OnRequestAdmitted(*this, member->context);
+  active_members_.push_back(std::move(member));
+}
+
+bool ServingEngine::StepIteration() {
+  if (active_members_.empty()) {
+    return false;
+  }
+  std::vector<BatchMember*> active;
+  active.reserve(active_members_.size());
+  for (const auto& member : active_members_) {
+    active.push_back(member.get());
+  }
+  RunIteration(active);
+
+  std::vector<std::unique_ptr<BatchMember>> still_active;
+  still_active.reserve(active_members_.size());
+  for (auto& member : active_members_) {
+    if (member->next_iteration == 0) {
+      member->metrics.first_token_time = clock_.now();
+    }
+    ++member->next_iteration;
+    if (member->next_iteration >= member->total_iterations) {
+      member->metrics.completion_time = clock_.now();
+      member->metrics.decode_iterations = member->total_iterations - 1;
+      metrics_.RecordRequest(member->metrics);
+      policy_->OnRequestCompleted(*this, member->context);
+      completed_.push_back(member->metrics);
+      free_slots_.insert(member->context.batch_slot);
+    } else {
+      still_active.push_back(std::move(member));
+    }
+  }
+  active_members_ = std::move(still_active);
+  return true;
+}
+
+std::vector<RequestMetrics> ServingEngine::DrainCompleted() {
+  std::vector<RequestMetrics> drained = std::move(completed_);
+  completed_.clear();
+  return drained;
+}
+
+std::vector<RequestMetrics> ServingEngine::ServeBatch(std::span<const Request> requests) {
+  FMOE_CHECK(!requests.empty());
+  FMOE_CHECK_MSG(active_members_.empty(),
+                 "ServeBatch requires an idle engine; use the continuous-batching interface");
+  completed_.clear();
+  double latest_arrival = 0.0;
+  for (const Request& request : requests) {
+    latest_arrival = std::max(latest_arrival, request.arrival_time);
+  }
+  clock_.AdvanceTo(latest_arrival);
+  for (const Request& request : requests) {
+    AdmitRequest(request);
+  }
+  while (StepIteration()) {
+  }
+  // Restore the caller's request order (members can finish out of order).
+  std::vector<RequestMetrics> drained = DrainCompleted();
+  std::vector<RequestMetrics> results;
+  results.reserve(requests.size());
+  for (const Request& request : requests) {
+    for (const RequestMetrics& metrics : drained) {
+      if (metrics.request_id == request.id) {
+        results.push_back(metrics);
+        break;
+      }
+    }
+  }
+  FMOE_CHECK(results.size() == requests.size());
+  return results;
+}
+
+RequestMetrics ServingEngine::ServeRequest(const Request& request) {
+  return ServeBatch(std::span<const Request>(&request, 1)).front();
+}
+
+void ServingEngine::WarmupWithHistory(std::span<const Request> requests) {
+  for (const Request& request : requests) {
+    ServeRequest(request);
+  }
+  ResetMetrics();
+}
+
+}  // namespace fmoe

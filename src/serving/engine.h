@@ -1,0 +1,171 @@
+// Virtual-time MoE serving engine.
+//
+// The engine executes the prefill + decode loop of the paper's §2.1 against the memsim
+// hardware model: per layer it advances time by the attention cost, evaluates the (simulated)
+// gate, invokes the offload policy's hooks, then serves every activated expert — a hit when its
+// weights are resident and ready, otherwise an on-demand load over the expert's device link
+// that stalls the iteration (§3.2 step 4). All five systems in the evaluation run on this one
+// mechanism and differ only in the OffloadPolicy implementation and cache eviction algorithm.
+#ifndef FMOE_SRC_SERVING_ENGINE_H_
+#define FMOE_SRC_SERVING_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/expert_cache.h"
+#include "src/memsim/clock.h"
+#include "src/memsim/gpu.h"
+#include "src/moe/cost_model.h"
+#include "src/moe/embedding.h"
+#include "src/moe/gate_simulator.h"
+#include "src/moe/model_config.h"
+#include "src/serving/metrics.h"
+#include "src/serving/policy.h"
+#include "src/workload/workload.h"
+
+namespace fmoe {
+
+struct EngineConfig {
+  int prefetch_distance = 3;          // d, profiled to 3 in the paper (§6.1).
+  uint64_t expert_cache_bytes = 0;    // Expert-cache budget; 0 = all experts fit.
+  std::string cache_policy = "LFU";   // Eviction algorithm name (see eviction_policy.h).
+  bool preload_all = false;           // No-offload reference: all experts resident from t=0.
+  double frequency_decay = 0.6;       // Per-iteration aging of cache hit frequencies.
+  int gpu_count = 6;                  // Paper testbed: six RTX 3090s.
+  // Expert-to-device placement; the paper uses round-robin over a hash map (§5).
+  PlacementStrategy placement = PlacementStrategy::kRoundRobin;
+  GpuConfig gpu;
+  HardwareProfile hardware;
+  GateProfile gate;
+  EmbedderProfile embedder;
+  uint64_t seed = 1;
+};
+
+class ServingEngine : public EngineHandle {
+ public:
+  ServingEngine(const ModelConfig& model, const EngineConfig& config, OffloadPolicy* policy);
+
+  // Serves one request to completion (batch of one). Advances the clock to the request's
+  // arrival time first if the engine is idle before it.
+  RequestMetrics ServeRequest(const Request& request);
+
+  // Serves up to EngineConfig-independent batch: all requests run in lockstep iterations
+  // (members that finish drop out). Used by the batch-size sensitivity experiment.
+  std::vector<RequestMetrics> ServeBatch(std::span<const Request> requests);
+
+  // Runs requests purely to build policy history / warm the cache, then discards the metrics.
+  void WarmupWithHistory(std::span<const Request> requests);
+
+  // Continuous-batching interface: requests may join the running batch at iteration
+  // boundaries (what modern serving engines call continuous batching). AdmitRequest copies
+  // the request and calls the policy's admission hook; StepIteration runs one lockstep
+  // iteration over everyone currently active (members sit at *different* token positions);
+  // DrainCompleted returns and clears the metrics of finished requests.
+  // ServeBatch/ServeRequest are implemented on top of this machinery.
+  void AdmitRequest(const Request& request);
+  bool StepIteration();  // false when no requests are active.
+  std::vector<RequestMetrics> DrainCompleted();
+  size_t ActiveRequests() const { return active_members_.size(); }
+  // Lets schedulers move idle time forward to the next arrival.
+  void AdvanceClockTo(double t) { clock_.AdvanceTo(t); }
+
+  RunMetrics& metrics() { return metrics_; }
+  const RunMetrics& metrics() const { return metrics_; }
+  void ResetMetrics() { metrics_ = RunMetrics(); }
+
+  const ExpertCache& cache() const { return cache_; }
+  const GpuCluster& cluster() const { return cluster_; }
+  const GateSimulator& gate() const { return gate_; }
+  const SemanticEmbedder& embedder() const { return embedder_; }
+  const CostModel& cost_model() const { return cost_; }
+  const EngineConfig& config() const { return config_; }
+
+  // EngineHandle interface (policy-facing services).
+  const ModelConfig& model() const override { return model_; }
+  double now() const override { return clock_.now(); }
+  int prefetch_distance() const override { return config_.prefetch_distance; }
+  void PrefetchAsync(ExpertId id, double probability, double priority) override;
+  void PrefetchAsyncSized(ExpertId id, double probability, double priority,
+                          double size_fraction) override;
+  void BlockingLoad(ExpertId id, double probability) override;
+  bool IsCached(ExpertId id) const override;
+  void SetCachedProbability(ExpertId id, double probability) override;
+  std::vector<double> SpeculativeGate(const RequestRouting& routing, int iteration,
+                                      int target_layer, int distance) const override;
+  void AddOverhead(OverheadCategory category, double seconds) override;
+  void AddAsyncWork(OverheadCategory category, double seconds) override;
+
+ private:
+  struct BatchMember {
+    Request request;  // Owned copy; contexts point at it.
+    IterationContext context;
+    RequestMetrics metrics;
+    int next_iteration = 0;    // 0 = prefill not yet run.
+    int total_iterations = 0;  // 1 prefill + decode_tokens decode iterations.
+  };
+
+  // One lockstep iteration over the active members, each at its own token position.
+  // Returns iteration duration.
+  double RunIteration(std::vector<BatchMember*>& active);
+
+  // Serving an activated expert is split in two so one layer's demand transfers overlap
+  // across device links: IssueExpert classifies hit/miss and starts any needed transfer
+  // (pinning residents); CompleteExpert waits out the transfer and advances compute time.
+  struct ExpertJob {
+    ExpertId id;
+    int tokens_routed = 0;
+    double ready_at = 0.0;
+    bool hit = false;
+    bool resident = false;
+  };
+  ExpertJob IssueExpert(ExpertId id, int tokens_routed);
+  void CompleteExpert(const ExpertJob& job);
+
+  // Completion bookkeeping shared by prefetch start events.
+  void OnTransferScheduled(int device, uint64_t tag, double completion_time);
+
+  uint64_t KeyOf(ExpertId id) const { return model_.FlatIndex(id); }
+  PcieLink& LinkFor(uint64_t key) { return cluster_.DeviceFor(key).link(); }
+
+  // Removes victims' GPU allocations and cancels their queued transfers.
+  void CleanupEvicted(const std::vector<CacheEntry>& evicted);
+
+  // Releases prefetch pins whose target layer has completed (layer == -1: release all).
+  void ReleasePrefetchPins(int completed_layer);
+
+  void PreloadAllExperts();
+
+  ModelConfig model_;
+  EngineConfig config_;
+  OffloadPolicy* policy_;  // Not owned.
+  GateSimulator gate_;
+  SemanticEmbedder embedder_;
+  CostModel cost_;
+  GpuCluster cluster_;
+  std::unique_ptr<EvictionPolicy> eviction_policy_;
+  ExpertCache cache_;
+  SimClock clock_;
+  RunMetrics metrics_;
+
+  // Continuous-batching state.
+  std::vector<std::unique_ptr<BatchMember>> active_members_;
+  std::vector<RequestMetrics> completed_;
+  std::set<int> free_slots_;
+  int next_slot_ = 0;
+
+  uint64_t next_transfer_tag_ = 1;
+  // tag -> flat expert key for prefetch-start callbacks.
+  std::unordered_map<uint64_t, uint64_t> transfer_key_by_tag_;
+  // Prefetched-but-not-yet-used experts are pinned (the runtime holds a reference to the
+  // inbound buffer) and released when their target layer completes or the iteration ends.
+  std::set<uint64_t> prefetch_pinned_;
+};
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_SERVING_ENGINE_H_

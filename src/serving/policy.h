@@ -1,0 +1,158 @@
+// Offload-policy interface.
+//
+// The serving engine owns mechanism (gate evaluation, cache residency, link timing, metric
+// accounting); a policy owns decisions (what to prefetch, what probabilities to stamp on cached
+// experts, what bookkeeping to update). fMoE and every baseline in the paper implement this
+// interface, so all comparisons run on identical mechanism — the same controlled setup the
+// paper builds by porting every baseline onto the MoE-Infinity codebase.
+//
+// Timing semantics: hooks run at a single instant of virtual time. Asynchronous work (fMoE's
+// map matching / prefetching, §4.3) is reported via AddAsyncWork and does NOT advance time;
+// synchronous work (MoE-Infinity's blocking prediction, Mixtral-Offloading's blocking
+// speculative loads) uses AddOverhead / BlockingLoad and DOES extend the iteration.
+#ifndef FMOE_SRC_SERVING_POLICY_H_
+#define FMOE_SRC_SERVING_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/moe/model_config.h"
+#include "src/workload/workload.h"
+
+namespace fmoe {
+
+// Latency-breakdown categories (Fig. 15).
+enum class OverheadCategory {
+  kContextCollection = 0,
+  kMapMatching = 1,
+  kPrefetchIssue = 2,
+  kMapUpdate = 3,
+  kCount,
+};
+
+inline const char* OverheadCategoryName(OverheadCategory category) {
+  switch (category) {
+    case OverheadCategory::kContextCollection:
+      return "context-collection";
+    case OverheadCategory::kMapMatching:
+      return "map-matching";
+    case OverheadCategory::kPrefetchIssue:
+      return "prefetch-issue";
+    case OverheadCategory::kMapUpdate:
+      return "map-update";
+    case OverheadCategory::kCount:
+      break;
+  }
+  return "?";
+}
+
+// Per-iteration context handed to every hook.
+struct IterationContext {
+  const Request* request = nullptr;
+  int iteration = 0;      // 0 = prefill, >= 1 = decode.
+  int batch_slot = 0;     // Index of this request within the running batch.
+  // Iteration-level semantic embedding (model embedding-layer output; §4.1).
+  std::vector<double> embedding;
+};
+
+// Engine services available to a policy during hooks. Implemented by ServingEngine.
+class EngineHandle {
+ public:
+  virtual ~EngineHandle() = default;
+
+  virtual const ModelConfig& model() const = 0;
+  virtual double now() const = 0;
+  virtual int prefetch_distance() const = 0;
+
+  // Asynchronously prefetches an expert into the cache with the given probability stamp and
+  // ordering priority (higher priority = enqueued earlier on its device link). No-op if the
+  // expert is already resident or in flight.
+  virtual void PrefetchAsync(ExpertId id, double probability, double priority) = 0;
+
+  // Like PrefetchAsync, but transfers the expert at reduced precision: `size_fraction` of its
+  // full weight bytes (e.g. 0.5 for fp8 instead of fp16). Serving from a reduced-precision
+  // copy is counted as a quality-affecting hit (the Hobbit-style lossy extension; lossy
+  // serving is orthogonal to fMoE per the paper's related-work discussion). The default
+  // ignores the fraction, so policies degrade gracefully on engines without support.
+  virtual void PrefetchAsyncSized(ExpertId id, double probability, double priority,
+                                  double size_fraction) {
+    (void)size_fraction;
+    PrefetchAsync(id, probability, priority);
+  }
+
+  // Synchronously loads an expert, blocking the iteration until the copy completes (models
+  // synchronous speculative prefetching). No-op if already resident and ready.
+  virtual void BlockingLoad(ExpertId id, double probability) = 0;
+
+  virtual bool IsCached(ExpertId id) const = 0;
+
+  // Stamps the matched-map probability on a resident expert (fMoE eviction input, §4.5).
+  virtual void SetCachedProbability(ExpertId id, double probability) = 0;
+
+  // Speculative gate prediction for `target_layer` as seen from `distance` layers before it
+  // (models applying a later gate to earlier hidden states, the Mixtral-Offloading / ProMoE
+  // technique; accuracy decays with distance).
+  virtual std::vector<double> SpeculativeGate(const RequestRouting& routing, int iteration,
+                                              int target_layer, int distance) const = 0;
+
+  // Adds synchronous policy overhead to the current iteration (advances virtual time).
+  virtual void AddOverhead(OverheadCategory category, double seconds) = 0;
+
+  // Records asynchronous policy work for the latency-breakdown figure without advancing time.
+  virtual void AddAsyncWork(OverheadCategory category, double seconds) = 0;
+};
+
+class OffloadPolicy {
+ public:
+  virtual ~OffloadPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // A new request was admitted (before its prefill iteration).
+  virtual void OnRequestAdmitted(EngineHandle& engine, const IterationContext& context) {
+    (void)engine;
+    (void)context;
+  }
+
+  // An iteration is about to run, before layer 0. The first prefetch_distance layers can only
+  // be covered from here (no trajectory observed yet) — fMoE uses semantic search, baselines
+  // use popularity / speculation.
+  virtual void OnIterationStart(EngineHandle& engine, const IterationContext& context) {
+    (void)engine;
+    (void)context;
+  }
+
+  // The gate at `layer` produced `probs` and activated `activated` (engine is about to serve
+  // those experts). Policies typically prefetch for layer + prefetch_distance here.
+  virtual void OnGateOutput(EngineHandle& engine, const IterationContext& context, int layer,
+                            const std::vector<double>& probs,
+                            const std::vector<int>& activated) {
+    (void)engine;
+    (void)context;
+    (void)layer;
+    (void)probs;
+    (void)activated;
+  }
+
+  // The iteration completed; `layer_probs` is the full iteration expert map (L rows of J
+  // probabilities) for history updates.
+  virtual void OnIterationEnd(EngineHandle& engine, const IterationContext& context,
+                              const std::vector<std::vector<double>>& layer_probs) {
+    (void)engine;
+    (void)context;
+    (void)layer_probs;
+  }
+
+  // The request finished (all tokens generated).
+  virtual void OnRequestCompleted(EngineHandle& engine, const IterationContext& context) {
+    (void)engine;
+    (void)context;
+  }
+
+  // Clears learned state (used between experiment repetitions, NOT between requests).
+  virtual void Reset() {}
+};
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_SERVING_POLICY_H_

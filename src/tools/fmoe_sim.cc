@@ -1,0 +1,262 @@
+// fmoe_sim — command-line driver for the fMoE serving simulator.
+//
+// Runs the paper's offline (7:3) or online (trace replay) protocol for any registered system
+// and prints a table, JSON, or CSV. Examples:
+//
+//   fmoe_sim --model mixtral --system fMoE
+//   fmoe_sim --model qwen --system all --format csv
+//   fmoe_sim --model phi --mode online --requests 64 --trace-rate 0.1 --format json
+//   fmoe_sim --model mixtral --system fMoE --save-store /tmp/mixtral.store
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "src/core/fmoe_policy.h"
+#include "src/core/map_store_io.h"
+#include "src/harness/experiment.h"
+#include "src/harness/report.h"
+#include "src/harness/systems.h"
+#include "src/workload/trace_io.h"
+#include "src/serving/engine.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace fmoe;
+
+bool ResolveModel(const std::string& name, ModelConfig* model) {
+  if (name == "mixtral") {
+    *model = MixtralConfig();
+  } else if (name == "qwen") {
+    *model = QwenMoeConfig();
+  } else if (name == "phi") {
+    *model = PhiMoeConfig();
+  } else if (name == "tiny") {
+    *model = TinyTestConfig();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ResolveDataset(const std::string& name, DatasetProfile* dataset) {
+  if (name == "lmsys") {
+    *dataset = LmsysLikeProfile();
+  } else if (name == "sharegpt") {
+    *dataset = ShareGptLikeProfile();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void PrintTable(const std::vector<ExperimentResult>& results, std::ostream& out) {
+  AsciiTable table({"system", "TTFT (ms)", "TPOT (ms)", "hit rate (%)", "e2e (s)",
+                    "cache used/cap (GiB)"});
+  for (const ExperimentResult& r : results) {
+    table.AddRow({r.system, AsciiTable::Num(r.mean_ttft * 1e3, 1),
+                  AsciiTable::Num(r.mean_tpot * 1e3, 2), AsciiTable::Num(r.hit_rate * 100, 1),
+                  AsciiTable::Num(r.mean_e2e, 2),
+                  AsciiTable::Num(r.cache_used_gb, 1) + " / " +
+                      AsciiTable::Num(r.cache_capacity_gb, 1)});
+  }
+  table.Print(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags("fmoe_sim", "fMoE expert-offloading serving simulator");
+  flags.AddString("model", "mixtral", "model preset: mixtral | qwen | phi | tiny");
+  flags.AddString("dataset", "lmsys", "prompt dataset: lmsys | sharegpt");
+  flags.AddString("system", "fMoE",
+                  "system to run, 'all' for the paper's five, or any registry name "
+                  "(see src/harness/systems.h)");
+  flags.AddString("mode", "offline", "protocol: offline (7:3 split) | online (trace replay)");
+  flags.AddInt("history", 80, "history requests used to warm the policy (offline mode)");
+  flags.AddInt("requests", 24, "measured requests (test split or trace length)");
+  flags.AddInt("batch", 1, "lockstep batch size (offline mode)");
+  flags.AddInt("distance", 3, "prefetch distance d in layers");
+  flags.AddInt("max-decode", 32, "cap on decode tokens per request (0 = dataset default)");
+  flags.AddInt("store-capacity", 512, "fMoE Expert Map Store capacity");
+  flags.AddInt("gpus", 6, "number of GPUs (parallel host links)");
+  flags.AddDouble("cache-gb", 0.0, "expert cache budget in GiB (0 = use --cache-fraction)");
+  flags.AddDouble("cache-fraction", 0.22, "cache budget as a fraction of all expert bytes");
+  flags.AddDouble("trace-rate", 0.08, "mean request arrival rate for online mode (req/s)");
+  flags.AddInt("seed", 42, "random seed (all components are deterministic given this)");
+  flags.AddString("format", "table", "output format: table | json | csv");
+  flags.AddBool("latencies", false, "include per-request latencies in JSON output");
+  flags.AddString("save-store", "", "after an fMoE run, save its Expert Map Store here");
+  flags.AddString("trace-csv", "",
+                  "online mode: replay requests from this CSV instead of the synthetic trace "
+                  "(columns: request_id,arrival_time_s,prompt_tokens,decode_tokens[,cluster,"
+                  "seed])");
+  flags.AddString("export-trace", "",
+                  "write the generated online trace to this CSV and exit (for editing/replay)");
+  flags.AddString("output", "", "write results to this file instead of stdout");
+
+  std::string error;
+  if (!flags.Parse(argc, argv, &error)) {
+    if (flags.help_requested()) {
+      std::cout << flags.Usage();
+      return 0;
+    }
+    std::cerr << "error: " << error << "\n\n" << flags.Usage();
+    return 1;
+  }
+
+  ExperimentOptions options;
+  if (!ResolveModel(flags.GetString("model"), &options.model)) {
+    std::cerr << "error: unknown model '" << flags.GetString("model") << "'\n";
+    return 1;
+  }
+  if (!ResolveDataset(flags.GetString("dataset"), &options.dataset)) {
+    std::cerr << "error: unknown dataset '" << flags.GetString("dataset") << "'\n";
+    return 1;
+  }
+  options.history_requests = static_cast<size_t>(flags.GetInt("history"));
+  options.test_requests = static_cast<size_t>(flags.GetInt("requests"));
+  options.batch_size = static_cast<int>(flags.GetInt("batch"));
+  options.prefetch_distance = static_cast<int>(flags.GetInt("distance"));
+  options.max_decode_tokens = static_cast<int>(flags.GetInt("max-decode"));
+  options.store_capacity = static_cast<size_t>(flags.GetInt("store-capacity"));
+  options.gpu_count = static_cast<int>(flags.GetInt("gpus"));
+  options.cache_bytes =
+      static_cast<uint64_t>(flags.GetDouble("cache-gb") * (1ULL << 30));
+  options.cache_fraction = flags.GetDouble("cache-fraction");
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  std::vector<std::string> systems;
+  if (flags.GetString("system") == "all") {
+    systems = PaperSystemNames();
+  } else {
+    systems.push_back(flags.GetString("system"));
+  }
+
+  const bool online = flags.GetString("mode") == "online";
+  if (!online && flags.GetString("mode") != "offline") {
+    std::cerr << "error: unknown mode '" << flags.GetString("mode") << "'\n";
+    return 1;
+  }
+
+  TraceProfile trace;
+  trace.mean_arrival_rate = flags.GetDouble("trace-rate");
+
+  if (!flags.GetString("export-trace").empty()) {
+    TraceGenerator generator(trace, options.dataset, options.seed);
+    const std::vector<Request> requests = generator.Generate(options.test_requests);
+    const TraceIoResult io = WriteTraceCsvToFile(requests, flags.GetString("export-trace"));
+    if (!io.ok) {
+      std::cerr << "error: " << io.error << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << io.rows << " requests to " << flags.GetString("export-trace")
+              << "\n";
+    return 0;
+  }
+
+  // Custom trace replay: load requests from CSV and serve them online on one engine.
+  std::vector<Request> csv_requests;
+  const bool use_csv = !flags.GetString("trace-csv").empty();
+  if (use_csv) {
+    const TraceIoResult io =
+        ReadTraceCsvFromFile(flags.GetString("trace-csv"), options.dataset, &csv_requests);
+    if (!io.ok) {
+      std::cerr << "error: reading trace failed: " << io.error << "\n";
+      return 1;
+    }
+    std::cerr << "replaying " << io.rows << " requests from " << flags.GetString("trace-csv")
+              << "\n";
+  }
+
+  std::vector<ExperimentResult> results;
+  for (const std::string& system : systems) {
+    if (use_csv) {
+      SystemSpec spec = MakeSystem(system, options.model, options.prefetch_distance,
+                                   options.store_capacity);
+      EngineConfig config;
+      config.prefetch_distance = options.prefetch_distance;
+      config.gpu_count = options.gpu_count;
+      config.expert_cache_bytes = ResolveCacheBytes(options);
+      config.cache_policy = spec.cache_policy;
+      config.preload_all = spec.preload_all;
+      config.seed = options.seed;
+      ServingEngine engine(options.model, config, spec.policy.get());
+      for (const Request& request : csv_requests) {
+        engine.ServeRequest(request);
+      }
+      ExperimentResult result;
+      result.system = system;
+      result.mean_ttft = engine.metrics().MeanTtft();
+      result.mean_tpot = engine.metrics().MeanTpot();
+      result.hit_rate = engine.metrics().HitRate();
+      result.mean_e2e = engine.metrics().MeanEndToEnd();
+      result.iterations = engine.metrics().iterations();
+      result.breakdown = engine.metrics().breakdown();
+      result.cache_capacity_gb =
+          static_cast<double>(engine.cache().capacity_bytes()) / (1ULL << 30);
+      result.cache_used_gb = static_cast<double>(engine.cache().used_bytes()) / (1ULL << 30);
+      result.request_latencies = engine.metrics().EndToEndLatencies();
+      results.push_back(std::move(result));
+    } else if (online) {
+      results.push_back(RunOnline(system, options, trace, options.test_requests));
+    } else {
+      results.push_back(RunOffline(system, options));
+    }
+  }
+
+  // Optional store export: re-run fMoE through an engine we keep, then persist its store.
+  const std::string store_path = flags.GetString("save-store");
+  if (!store_path.empty()) {
+    SystemSpec spec = MakeSystem("fMoE", options.model, options.prefetch_distance,
+                                 options.store_capacity);
+    EngineConfig config;
+    config.prefetch_distance = options.prefetch_distance;
+    config.gpu_count = options.gpu_count;
+    config.expert_cache_bytes = ResolveCacheBytes(options);
+    config.cache_policy = spec.cache_policy;
+    config.seed = options.seed;
+    ServingEngine engine(options.model, config, spec.policy.get());
+    WorkloadGenerator generator(options.dataset, options.seed);
+    std::vector<Request> history = generator.Generate(options.history_requests);
+    for (Request& request : history) {
+      if (options.max_decode_tokens > 0) {
+        request.decode_tokens = std::min(request.decode_tokens, options.max_decode_tokens);
+      }
+      engine.ServeRequest(request);
+    }
+    auto* policy = dynamic_cast<FmoePolicy*>(spec.policy.get());
+    const StoreIoResult io = SaveStoreToFile(policy->store(), store_path);
+    if (!io.ok) {
+      std::cerr << "error: saving store failed: " << io.error << "\n";
+      return 1;
+    }
+    std::cerr << "saved " << io.records << " expert maps (" << io.bytes << " bytes) to "
+              << store_path << "\n";
+  }
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (!flags.GetString("output").empty()) {
+    file.open(flags.GetString("output"));
+    if (!file) {
+      std::cerr << "error: cannot open " << flags.GetString("output") << "\n";
+      return 1;
+    }
+    out = &file;
+  }
+
+  const std::string format = flags.GetString("format");
+  if (format == "table") {
+    PrintTable(results, *out);
+  } else if (format == "json") {
+    WriteResultsJson(results, flags.GetBool("latencies"), *out);
+  } else if (format == "csv") {
+    WriteResultsCsv(results, *out);
+  } else {
+    std::cerr << "error: unknown format '" << format << "'\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/stats.h"
+
+namespace fmoe {
+
+LatencyHistogram::LatencyHistogram(double min_value, double max_value, size_t bucket_count)
+    : min_value_(min_value),
+      log_min_(std::log(min_value)),
+      log_range_(std::log(max_value) - std::log(min_value)),
+      counts_(bucket_count, 0) {
+  assert(min_value > 0.0 && max_value > min_value && bucket_count > 0);
+}
+
+size_t LatencyHistogram::BucketIndex(double value) const {
+  if (value <= min_value_) {
+    return 0;
+  }
+  const double frac = (std::log(value) - log_min_) / log_range_;
+  const auto idx = static_cast<ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+  return static_cast<size_t>(
+      std::clamp(idx, ptrdiff_t{0}, static_cast<ptrdiff_t>(counts_.size()) - 1));
+}
+
+void LatencyHistogram::Add(double value) {
+  counts_[BucketIndex(value)]++;
+  samples_.push_back(value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (double v : other.samples_) {
+    Add(v);
+  }
+}
+
+double LatencyHistogram::mean() const { return Mean(samples_); }
+
+double LatencyHistogram::sum() const {
+  double total = 0.0;
+  for (double v : samples_) {
+    total += v;
+  }
+  return total;
+}
+
+double LatencyHistogram::min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double LatencyHistogram::max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double LatencyHistogram::Percentile(double pct) const {
+  return fmoe::Percentile(samples_, pct);
+}
+
+std::vector<double> LatencyHistogram::BucketLowerBounds() const {
+  std::vector<double> bounds(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(counts_.size());
+    bounds[i] = std::exp(log_min_ + frac * log_range_);
+  }
+  return bounds;
+}
+
+std::string LatencyHistogram::Summary(const std::string& unit) const {
+  std::ostringstream out;
+  out << "n=" << count() << " mean=" << mean() << unit << " p50=" << Percentile(50.0) << unit
+      << " p99=" << Percentile(99.0) << unit << " max=" << max() << unit;
+  return out.str();
+}
+
+}  // namespace fmoe

@@ -1,0 +1,41 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fmoe {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line, message.c_str());
+}
+
+void CheckFailed(const char* file, int line, const char* expr, const std::string& message) {
+  std::fprintf(stderr, "[CHECK %s:%d] failed: %s %s\n", file, line, expr, message.c_str());
+  std::abort();
+}
+
+}  // namespace fmoe

@@ -1,0 +1,71 @@
+// Minimal logging and invariant-checking facilities.
+//
+// The library does not throw across its public boundary; programming errors and violated
+// invariants abort with a message (FMOE_CHECK), mirroring how os-level systems code treats
+// impossible states. Informational logging is opt-in and off by default so benches stay quiet.
+#ifndef FMOE_SRC_UTIL_LOGGING_H_
+#define FMOE_SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fmoe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Default: kWarning.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes one formatted line to stderr; exposed for the macro below.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+// Aborts the process after logging; used by FMOE_CHECK.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace internal {
+
+// Stream collector so log/check sites can use `<<`.
+class MessageStream {
+ public:
+  template <typename T>
+  MessageStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fmoe
+
+#define FMOE_LOG(level, msg_expr)                                                       \
+  do {                                                                                  \
+    if (static_cast<int>(level) >= static_cast<int>(::fmoe::GetLogLevel())) {           \
+      ::fmoe::internal::MessageStream fmoe_stream;                                      \
+      fmoe_stream << msg_expr;                                                          \
+      ::fmoe::LogMessage(level, __FILE__, __LINE__, fmoe_stream.str());                 \
+    }                                                                                   \
+  } while (0)
+
+#define FMOE_CHECK(cond)                                                                \
+  do {                                                                                  \
+    if (!(cond)) {                                                                      \
+      ::fmoe::CheckFailed(__FILE__, __LINE__, #cond, "");                               \
+    }                                                                                   \
+  } while (0)
+
+#define FMOE_CHECK_MSG(cond, msg_expr)                                                  \
+  do {                                                                                  \
+    if (!(cond)) {                                                                      \
+      ::fmoe::internal::MessageStream fmoe_stream;                                      \
+      fmoe_stream << msg_expr;                                                          \
+      ::fmoe::CheckFailed(__FILE__, __LINE__, #cond, fmoe_stream.str());                \
+    }                                                                                   \
+  } while (0)
+
+#endif  // FMOE_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,127 @@
+#include "src/util/math.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace fmoe {
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+double Norm(std::span<const double> a) { return std::sqrt(Dot(a, a)); }
+
+double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
+  const double na = Norm(a);
+  const double nb = Norm(b);
+  if (na == 0.0 || nb == 0.0) {
+    return 0.0;
+  }
+  return Dot(a, b) / (na * nb);
+}
+
+void SoftmaxInPlace(std::vector<double>& logits, double temperature) {
+  assert(temperature > 0.0);
+  if (logits.empty()) {
+    return;
+  }
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (double& v : logits) {
+    v = std::exp((v - max_logit) / temperature);
+    sum += v;
+  }
+  for (double& v : logits) {
+    v /= sum;
+  }
+}
+
+std::vector<double> Softmax(std::span<const double> logits, double temperature) {
+  std::vector<double> out(logits.begin(), logits.end());
+  SoftmaxInPlace(out, temperature);
+  return out;
+}
+
+double Entropy(std::span<const double> probs) {
+  double h = 0.0;
+  for (double p : probs) {
+    if (p > 0.0) {
+      h -= p * std::log(p);
+    }
+  }
+  return h;
+}
+
+double NormalizedEntropy(std::span<const double> probs) {
+  if (probs.size() <= 1) {
+    return 0.0;
+  }
+  return Entropy(probs) / std::log(static_cast<double>(probs.size()));
+}
+
+std::vector<size_t> TopKIndices(std::span<const double> values, size_t k) {
+  k = std::min(k, values.size());
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(k), order.end(),
+                    [&](size_t a, size_t b) {
+                      if (values[a] != values[b]) {
+                        return values[a] > values[b];
+                      }
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+std::vector<size_t> MassCoverIndices(std::span<const double> probs, double threshold,
+                                     size_t min_count) {
+  std::vector<size_t> order = TopKIndices(probs, probs.size());
+  min_count = std::min(min_count, probs.size());
+  std::vector<size_t> picked;
+  picked.reserve(min_count);
+  double mass = 0.0;
+  for (size_t idx : order) {
+    if (picked.size() >= min_count && mass >= threshold) {
+      break;
+    }
+    picked.push_back(idx);
+    mass += probs[idx];
+  }
+  return picked;
+}
+
+void NormalizeInPlace(std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  if (sum <= 0.0) {
+    if (!values.empty()) {
+      const double uniform = 1.0 / static_cast<double>(values.size());
+      std::fill(values.begin(), values.end(), uniform);
+    }
+    return;
+  }
+  for (double& v : values) {
+    v /= sum;
+  }
+}
+
+void AddInPlace(std::vector<double>& a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] += b[i];
+  }
+}
+
+double Clip(double x, double lo, double hi) { return std::max(lo, std::min(x, hi)); }
+
+}  // namespace fmoe

@@ -1,0 +1,51 @@
+// Small dense-vector math kernels shared by the gate simulator and the expert-map machinery.
+//
+// All routines operate on std::span<const double> / std::vector<double>; fMoE's maps and
+// embeddings are small (J <= 96 experts, hidden sizes <= 256 in the simulator), so simple
+// scalar loops are plenty and keep the library dependency-free.
+#ifndef FMOE_SRC_UTIL_MATH_H_
+#define FMOE_SRC_UTIL_MATH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fmoe {
+
+double Dot(std::span<const double> a, std::span<const double> b);
+double Norm(std::span<const double> a);
+
+// Cosine similarity in [-1, 1]. Returns 0 when either vector has zero norm.
+double CosineSimilarity(std::span<const double> a, std::span<const double> b);
+
+// In-place numerically-stable softmax with temperature (> 0). Lower temperature sharpens.
+void SoftmaxInPlace(std::vector<double>& logits, double temperature = 1.0);
+std::vector<double> Softmax(std::span<const double> logits, double temperature = 1.0);
+
+// Shannon entropy (natural log) of a probability distribution. Ignores zero entries.
+double Entropy(std::span<const double> probs);
+
+// Normalized entropy in [0, 1]: Entropy(p) / ln(n) for n > 1, else 0.
+double NormalizedEntropy(std::span<const double> probs);
+
+// Indices of the k largest values, ordered by descending value (ties broken by lower index).
+std::vector<size_t> TopKIndices(std::span<const double> values, size_t k);
+
+// Smallest prefix of the descending-sorted distribution whose mass reaches `threshold`,
+// subject to returning at least `min_count` entries (capped at values.size()).
+// This is exactly fMoE's Eq. (6)-(8) expert selection operator.
+std::vector<size_t> MassCoverIndices(std::span<const double> probs, double threshold,
+                                     size_t min_count);
+
+// Normalizes a non-negative vector to sum to one; uniform if the sum is zero.
+void NormalizeInPlace(std::vector<double>& values);
+
+// Elementwise a += b.
+void AddInPlace(std::vector<double>& a, std::span<const double> b);
+
+// Clamp helper mirroring the paper's Clip(x, lo, hi).
+double Clip(double x, double lo, double hi);
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_UTIL_MATH_H_

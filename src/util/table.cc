@@ -1,0 +1,62 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace fmoe {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  FMOE_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, expected " << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::Num(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+void AsciiTable::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << " " << std::left << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    out << "\n";
+  };
+  auto print_rule = [&]() {
+    out << "+";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      out << std::string(widths[c] + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_rule();
+}
+
+void PrintBanner(std::ostream& out, const std::string& title) {
+  out << "\n=== " << title << " ===\n";
+}
+
+}  // namespace fmoe

@@ -1,0 +1,31 @@
+// ASCII table printer used by the figure-reproduction benches to emit paper-style rows.
+#ifndef FMOE_SRC_UTIL_TABLE_H_
+#define FMOE_SRC_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fmoe {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Convenience: format doubles with fixed precision.
+  static std::string Num(double value, int precision = 2);
+
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner, e.g. "=== Figure 9: Overall performance ===".
+void PrintBanner(std::ostream& out, const std::string& title);
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_UTIL_TABLE_H_

@@ -1,0 +1,72 @@
+#include "src/moe/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace fmoe {
+namespace {
+
+TEST(CostModelTest, DecodeAttentionIsMemoryBound) {
+  const ModelConfig config = MixtralConfig();
+  const HardwareProfile hw;
+  const CostModel cost(config, hw);
+  const double expected =
+      static_cast<double>(config.attention_bytes_per_layer) / hw.gpu_mem_bandwidth_bytes_per_sec;
+  EXPECT_NEAR(cost.AttentionTime(1), expected, 1e-12);
+}
+
+TEST(CostModelTest, PrefillBecomesComputeBound) {
+  const CostModel cost(MixtralConfig(), HardwareProfile{});
+  // Enough tokens that FLOPs dominate the weight-read time.
+  EXPECT_GT(cost.AttentionTime(4096), cost.AttentionTime(1) * 2.0);
+}
+
+TEST(CostModelTest, AttentionTimeMonotonicInTokens) {
+  const CostModel cost(MixtralConfig(), HardwareProfile{});
+  double prev = 0.0;
+  for (int tokens : {1, 16, 128, 1024, 8192}) {
+    const double t = cost.AttentionTime(tokens);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModelTest, ExpertComputeScalesLikeAttention) {
+  const CostModel cost(MixtralConfig(), HardwareProfile{});
+  EXPECT_GT(cost.ExpertComputeTime(1), 0.0);
+  EXPECT_GE(cost.ExpertComputeTime(1024), cost.ExpertComputeTime(1));
+}
+
+TEST(CostModelTest, DecodeIterationCompositionIsConsistent) {
+  const ModelConfig config = MixtralConfig();
+  const CostModel cost(config, HardwareProfile{});
+  const double per_layer = cost.AttentionTime(1) +
+                           config.top_k * cost.ExpertComputeTime(1) + cost.LayerOverhead();
+  EXPECT_NEAR(cost.DecodeIterationComputeTime(), per_layer * config.num_layers, 1e-12);
+}
+
+TEST(CostModelTest, MixtralDecodeIterationInPlausibleRange) {
+  // Sanity-anchor the absolute scale: a no-offload Mixtral decode iteration on a 3090-class
+  // GPU is tens of milliseconds.
+  const CostModel cost(MixtralConfig(), HardwareProfile{});
+  const double t = cost.DecodeIterationComputeTime();
+  EXPECT_GT(t, 5e-3);
+  EXPECT_LT(t, 0.2);
+}
+
+TEST(CostModelTest, FasterHardwareIsFaster) {
+  HardwareProfile fast;
+  fast.gpu_mem_bandwidth_bytes_per_sec *= 2.0;
+  fast.gpu_effective_flops *= 2.0;
+  const CostModel slow_cost(MixtralConfig(), HardwareProfile{});
+  const CostModel fast_cost(MixtralConfig(), fast);
+  EXPECT_LT(fast_cost.DecodeIterationComputeTime(), slow_cost.DecodeIterationComputeTime());
+}
+
+TEST(CostModelTest, ZeroTokensTreatedAsOne) {
+  const CostModel cost(MixtralConfig(), HardwareProfile{});
+  EXPECT_DOUBLE_EQ(cost.AttentionTime(0), cost.AttentionTime(1));
+  EXPECT_DOUBLE_EQ(cost.ExpertComputeTime(0), cost.ExpertComputeTime(1));
+}
+
+}  // namespace
+}  // namespace fmoe

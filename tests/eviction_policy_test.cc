@@ -1,0 +1,92 @@
+#include "src/cache/eviction_policy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fmoe {
+namespace {
+
+CacheEntry Entry(double last_access, double frequency, double probability) {
+  CacheEntry entry;
+  entry.last_access = last_access;
+  entry.frequency = frequency;
+  entry.probability = probability;
+  return entry;
+}
+
+TEST(LruPolicyTest, OlderAccessEvictsFirst) {
+  LruEvictionPolicy policy;
+  const CacheEntry old_entry = Entry(1.0, 10.0, 0.9);
+  const CacheEntry new_entry = Entry(9.0, 0.0, 0.0);
+  EXPECT_GT(policy.EvictionScore(old_entry, 10.0), policy.EvictionScore(new_entry, 10.0));
+}
+
+TEST(LruPolicyTest, IgnoresFrequencyAndProbability) {
+  LruEvictionPolicy policy;
+  const CacheEntry a = Entry(5.0, 100.0, 0.99);
+  const CacheEntry b = Entry(5.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(policy.EvictionScore(a, 10.0), policy.EvictionScore(b, 10.0));
+}
+
+TEST(LfuPolicyTest, LowerFrequencyEvictsFirst) {
+  LfuEvictionPolicy policy;
+  const CacheEntry rare = Entry(9.0, 1.0, 0.9);
+  const CacheEntry frequent = Entry(1.0, 10.0, 0.0);
+  EXPECT_GT(policy.EvictionScore(rare, 10.0), policy.EvictionScore(frequent, 10.0));
+}
+
+TEST(LfuPolicyTest, ZeroFrequencyIsFiniteAndWorst) {
+  LfuEvictionPolicy policy;
+  const CacheEntry never = Entry(0.0, 0.0, 0.0);
+  const CacheEntry once = Entry(0.0, 1.0, 0.0);
+  EXPECT_GT(policy.EvictionScore(never, 1.0), policy.EvictionScore(once, 1.0));
+  EXPECT_TRUE(std::isfinite(policy.EvictionScore(never, 1.0)));
+}
+
+TEST(PriorityLfuPolicyTest, MatchesPaperFormula) {
+  PriorityLfuEvictionPolicy policy;
+  const CacheEntry entry = Entry(0.0, 4.0, 0.5);
+  // PRI^evict = 1 / (p * freq) = 1 / 2.
+  EXPECT_DOUBLE_EQ(policy.EvictionScore(entry, 1.0), 0.5);
+}
+
+TEST(PriorityLfuPolicyTest, LowProbabilityEvictsBeforeHighProbability) {
+  PriorityLfuEvictionPolicy policy;
+  const CacheEntry unlikely = Entry(0.0, 5.0, 0.01);
+  const CacheEntry likely = Entry(0.0, 5.0, 0.8);
+  EXPECT_GT(policy.EvictionScore(unlikely, 1.0), policy.EvictionScore(likely, 1.0));
+}
+
+TEST(PriorityLfuPolicyTest, ProbabilityCanRescueInfrequentExpert) {
+  // The fMoE property: an expert the current map assigns high probability survives even with
+  // low frequency, unlike plain LFU.
+  PriorityLfuEvictionPolicy fmoe_policy;
+  LfuEvictionPolicy lfu_policy;
+  const CacheEntry fresh_predicted = Entry(0.0, 0.0, 0.9);
+  const CacheEntry stale_frequent = Entry(0.0, 3.0, 0.01);
+  EXPECT_LT(fmoe_policy.EvictionScore(fresh_predicted, 1.0),
+            fmoe_policy.EvictionScore(stale_frequent, 1.0));
+  EXPECT_GT(lfu_policy.EvictionScore(fresh_predicted, 1.0),
+            lfu_policy.EvictionScore(stale_frequent, 1.0));
+}
+
+TEST(PriorityLfuPolicyTest, ZeroProbabilityIsFinite) {
+  PriorityLfuEvictionPolicy policy;
+  EXPECT_TRUE(std::isfinite(policy.EvictionScore(Entry(0.0, 0.0, 0.0), 1.0)));
+}
+
+TEST(MakeEvictionPolicyTest, ConstructsAllKnownPolicies) {
+  EXPECT_EQ(MakeEvictionPolicy("LRU")->name(), "LRU");
+  EXPECT_EQ(MakeEvictionPolicy("LFU")->name(), "LFU");
+  EXPECT_EQ(MakeEvictionPolicy("fMoE-PriorityLFU")->name(), "fMoE-PriorityLFU");
+}
+
+using MakeEvictionPolicyDeathTest = ::testing::Test;
+
+TEST(MakeEvictionPolicyDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(MakeEvictionPolicy("bogus"), "unknown eviction policy");
+}
+
+}  // namespace
+}  // namespace fmoe

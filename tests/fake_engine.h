@@ -1,0 +1,94 @@
+// Test double for EngineHandle: records every policy action so policy unit tests can assert
+// on prefetch/blocking-load behaviour without running the full serving engine.
+#ifndef FMOE_TESTS_FAKE_ENGINE_H_
+#define FMOE_TESTS_FAKE_ENGINE_H_
+
+#include <map>
+#include <vector>
+
+#include "src/moe/gate_simulator.h"
+#include "src/serving/policy.h"
+
+namespace fmoe {
+
+class FakeEngine : public EngineHandle {
+ public:
+  struct PrefetchCall {
+    ExpertId id;
+    double probability;
+    double priority;
+    double size_fraction = 1.0;
+  };
+  struct LoadCall {
+    ExpertId id;
+    double probability;
+  };
+
+  FakeEngine(const ModelConfig& model, int prefetch_distance)
+      : model_(model),
+        prefetch_distance_(prefetch_distance),
+        gate_(model, GateProfile{}, /*seed=*/1234) {}
+
+  const ModelConfig& model() const override { return model_; }
+  double now() const override { return now_; }
+  int prefetch_distance() const override { return prefetch_distance_; }
+
+  void PrefetchAsync(ExpertId id, double probability, double priority) override {
+    prefetches.push_back(PrefetchCall{id, probability, priority, 1.0});
+    cached[model_.FlatIndex(id)] = probability;
+  }
+
+  void PrefetchAsyncSized(ExpertId id, double probability, double priority,
+                          double size_fraction) override {
+    prefetches.push_back(PrefetchCall{id, probability, priority, size_fraction});
+    cached[model_.FlatIndex(id)] = probability;
+  }
+
+  void BlockingLoad(ExpertId id, double probability) override {
+    blocking_loads.push_back(LoadCall{id, probability});
+    cached[model_.FlatIndex(id)] = probability;
+  }
+
+  bool IsCached(ExpertId id) const override { return cached.contains(model_.FlatIndex(id)); }
+
+  void SetCachedProbability(ExpertId id, double probability) override {
+    const auto it = cached.find(model_.FlatIndex(id));
+    if (it != cached.end()) {
+      it->second = probability;
+    }
+    stamped.push_back(LoadCall{id, probability});
+  }
+
+  std::vector<double> SpeculativeGate(const RequestRouting& routing, int iteration,
+                                      int target_layer, int distance) const override {
+    last_speculative_distance = distance;
+    return gate_.SpeculativeDistribution(routing, iteration, target_layer, distance);
+  }
+
+  void AddOverhead(OverheadCategory category, double seconds) override {
+    now_ += seconds;
+    sync_overhead[static_cast<size_t>(category)] += seconds;
+  }
+
+  void AddAsyncWork(OverheadCategory category, double seconds) override {
+    async_work[static_cast<size_t>(category)] += seconds;
+  }
+
+  std::vector<PrefetchCall> prefetches;
+  std::vector<LoadCall> blocking_loads;
+  std::vector<LoadCall> stamped;
+  std::map<uint64_t, double> cached;
+  double sync_overhead[static_cast<size_t>(OverheadCategory::kCount)] = {};
+  double async_work[static_cast<size_t>(OverheadCategory::kCount)] = {};
+  mutable int last_speculative_distance = -1;
+
+ private:
+  ModelConfig model_;
+  int prefetch_distance_;
+  GateSimulator gate_;
+  double now_ = 0.0;
+};
+
+}  // namespace fmoe
+
+#endif  // FMOE_TESTS_FAKE_ENGINE_H_

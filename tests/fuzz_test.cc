@@ -1,0 +1,197 @@
+// Randomized model-checking tests: drive the expert cache and the PCIe link with long random
+// operation sequences and verify them against simple reference models / global invariants.
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/expert_cache.h"
+#include "src/memsim/link.h"
+#include "src/util/rng.h"
+
+namespace fmoe {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ExpertCache vs a reference model.
+
+struct ReferenceEntry {
+  uint64_t bytes = 0;
+  int pins = 0;
+};
+
+class CacheFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheFuzzTest, MatchesReferenceModelUnderRandomOps) {
+  Rng rng(GetParam());
+  LfuEvictionPolicy policy;
+  const uint64_t capacity = 200;
+  ExpertCache cache(capacity, &policy);
+
+  std::map<uint64_t, ReferenceEntry> reference;
+  uint64_t reference_bytes = 0;
+  double now = 0.0;
+
+  for (int step = 0; step < 4000; ++step) {
+    now += rng.NextDouble();
+    const uint64_t key = rng.NextBounded(40);
+    switch (rng.NextBounded(6)) {
+      case 0:
+      case 1: {  // Insert.
+        CacheEntry entry;
+        entry.key = key;
+        entry.bytes = 5 + rng.NextBounded(30);
+        entry.prefetch_pending = false;
+        std::vector<CacheEntry> evicted;
+        const bool inserted = cache.Insert(entry, now, &evicted);
+        if (reference.contains(key)) {
+          ASSERT_FALSE(inserted);  // Duplicate keys always rejected.
+          break;
+        }
+        if (inserted) {
+          for (const CacheEntry& victim : evicted) {
+            const auto it = reference.find(victim.key);
+            ASSERT_NE(it, reference.end());
+            ASSERT_EQ(it->second.pins, 0);  // Never evicts pinned entries.
+            reference_bytes -= it->second.bytes;
+            reference.erase(it);
+          }
+          reference[key] = ReferenceEntry{entry.bytes, 0};
+          reference_bytes += entry.bytes;
+        } else {
+          ASSERT_TRUE(evicted.empty());  // Failed inserts must roll back completely.
+        }
+        break;
+      }
+      case 2: {  // Touch.
+        if (reference.contains(key)) {
+          cache.Touch(key, now);
+        }
+        break;
+      }
+      case 3: {  // Pin / unpin.
+        const auto it = reference.find(key);
+        if (it == reference.end()) {
+          break;
+        }
+        if (it->second.pins > 0 && rng.NextBool(0.6)) {
+          cache.Unpin(key);
+          --it->second.pins;
+        } else {
+          cache.Pin(key);
+          ++it->second.pins;
+        }
+        break;
+      }
+      case 4: {  // Remove (unpinned only).
+        const auto it = reference.find(key);
+        if (it != reference.end() && it->second.pins == 0) {
+          CacheEntry removed;
+          ASSERT_TRUE(cache.Remove(key, &removed));
+          ASSERT_EQ(removed.bytes, it->second.bytes);
+          reference_bytes -= it->second.bytes;
+          reference.erase(it);
+        } else if (it == reference.end()) {
+          ASSERT_FALSE(cache.Remove(key, nullptr));
+        }
+        break;
+      }
+      case 5: {  // Decay.
+        cache.DecayFrequencies(0.5 + 0.5 * rng.NextDouble());
+        break;
+      }
+    }
+    // Global invariants after every operation.
+    ASSERT_EQ(cache.size(), reference.size());
+    ASSERT_EQ(cache.used_bytes(), reference_bytes);
+    ASSERT_LE(cache.used_bytes(), capacity);
+    for (const auto& [ref_key, ref_entry] : reference) {
+      const CacheEntry* entry = cache.Find(ref_key);
+      ASSERT_NE(entry, nullptr);
+      ASSERT_EQ(entry->bytes, ref_entry.bytes);
+      ASSERT_EQ(entry->pin_count, ref_entry.pins);
+      ASSERT_GE(entry->frequency, 0.0);
+    }
+  }
+  // Drain pins so the fixture ends in a clean state.
+  for (auto& [key, entry] : reference) {
+    while (entry.pins-- > 0) {
+      cache.Unpin(key);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzzTest, ::testing::Values(1u, 17u, 99u, 12345u));
+
+// ---------------------------------------------------------------------------
+// PcieLink schedule invariants under random operation streams.
+
+class LinkFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LinkFuzzTest, ScheduleInvariantsHold) {
+  Rng rng(GetParam());
+  LinkConfig config;
+  config.bandwidth_bytes_per_sec = 1000.0;
+  config.fixed_latency_sec = 0.01;
+  PcieLink link(config);
+
+  std::map<uint64_t, double> completion_by_tag;
+  std::set<uint64_t> outstanding;  // Enqueued, neither started nor cancelled.
+  uint64_t next_tag = 1;
+  double now = 0.0;
+  double last_completion = 0.0;
+
+  link.set_completion_callback([&](uint64_t tag, double completion) {
+    // Each prefetch completes at most once, never before its enqueue time, and link
+    // completions are monotone (FIFO service order).
+    ASSERT_TRUE(outstanding.contains(tag));
+    outstanding.erase(tag);
+    ASSERT_FALSE(completion_by_tag.contains(tag));
+    completion_by_tag[tag] = completion;
+    ASSERT_GE(completion, last_completion - 1e-12);
+    last_completion = completion;
+  });
+
+  for (int step = 0; step < 3000; ++step) {
+    now += rng.NextExponential(5.0);
+    switch (rng.NextBounded(4)) {
+      case 0: {  // Prefetch.
+        const uint64_t tag = next_tag++;
+        outstanding.insert(tag);
+        link.EnqueuePrefetch(now, tag, 10 + rng.NextBounded(200));
+        break;
+      }
+      case 1: {  // Demand load: completes in the future, after transfer time.
+        const uint64_t bytes = 10 + rng.NextBounded(200);
+        const double completion = link.DemandLoad(now, bytes);
+        ASSERT_GE(completion, now + link.TransferDuration(bytes) - 1e-12);
+        ASSERT_GE(link.busy_until(), completion - 1e-12);
+        break;
+      }
+      case 2: {  // Cancel a random outstanding prefetch (it may already have started).
+        if (!outstanding.empty()) {
+          const uint64_t tag = *outstanding.begin();
+          if (link.CancelQueuedPrefetch(tag)) {
+            outstanding.erase(tag);
+          }
+        }
+        break;
+      }
+      case 3: {  // Tick.
+        link.Tick(now);
+        break;
+      }
+    }
+    ASSERT_LE(link.queued_prefetch_count(), outstanding.size());
+  }
+  // Flush everything: all outstanding prefetches eventually start.
+  link.Tick(now + 1e6);
+  ASSERT_TRUE(outstanding.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkFuzzTest, ::testing::Values(2u, 33u, 555u, 98765u));
+
+}  // namespace
+}  // namespace fmoe

@@ -1,0 +1,123 @@
+#include "src/memsim/gpu.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/memsim/clock.h"
+
+namespace fmoe {
+namespace {
+
+GpuConfig SmallGpu() {
+  GpuConfig config;
+  config.memory_bytes = 1000;
+  return config;
+}
+
+TEST(GpuDeviceTest, AllocateAndFree) {
+  GpuDevice device(0, SmallGpu());
+  EXPECT_TRUE(device.Allocate(400));
+  EXPECT_EQ(device.used_bytes(), 400u);
+  EXPECT_EQ(device.free_bytes(), 600u);
+  device.Free(400);
+  EXPECT_EQ(device.used_bytes(), 0u);
+}
+
+TEST(GpuDeviceTest, AllocateFailsWhenExhausted) {
+  GpuDevice device(0, SmallGpu());
+  EXPECT_TRUE(device.Allocate(900));
+  EXPECT_FALSE(device.Allocate(200));
+  EXPECT_EQ(device.used_bytes(), 900u);  // Unchanged after failure.
+}
+
+TEST(GpuDeviceTest, ExactFitSucceeds) {
+  GpuDevice device(0, SmallGpu());
+  EXPECT_TRUE(device.Allocate(1000));
+  EXPECT_EQ(device.free_bytes(), 0u);
+}
+
+TEST(GpuClusterTest, RoundRobinPlacementCoversAllDevices) {
+  GpuCluster cluster(6, SmallGpu());
+  std::set<int> devices;
+  for (uint64_t key = 0; key < 12; ++key) {
+    devices.insert(cluster.DeviceForKey(key));
+  }
+  EXPECT_EQ(devices.size(), 6u);
+}
+
+TEST(GpuClusterTest, PlacementIsStable) {
+  GpuCluster cluster(4, SmallGpu());
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(cluster.DeviceForKey(key), cluster.DeviceForKey(key));
+  }
+}
+
+TEST(GpuClusterTest, TotalsAggregateAcrossDevices) {
+  GpuCluster cluster(3, SmallGpu());
+  EXPECT_EQ(cluster.total_memory_bytes(), 3000u);
+  cluster.device(0).Allocate(100);
+  cluster.device(2).Allocate(300);
+  EXPECT_EQ(cluster.total_used_bytes(), 400u);
+}
+
+TEST(GpuClusterTest, DeviceForRoutesToCorrectDevice) {
+  GpuCluster cluster(2, SmallGpu());
+  EXPECT_EQ(cluster.DeviceFor(0).id(), 0);
+  EXPECT_EQ(cluster.DeviceFor(1).id(), 1);
+  EXPECT_EQ(cluster.DeviceFor(2).id(), 0);
+}
+
+TEST(GpuClusterTest, LayerContiguousPlacementPacksBlocks) {
+  GpuCluster cluster(3, SmallGpu());
+  cluster.SetPlacement(PlacementStrategy::kLayerContiguous, /*total_keys=*/12);
+  // 12 keys over 3 devices: blocks of 4.
+  EXPECT_EQ(cluster.DeviceForKey(0), 0);
+  EXPECT_EQ(cluster.DeviceForKey(3), 0);
+  EXPECT_EQ(cluster.DeviceForKey(4), 1);
+  EXPECT_EQ(cluster.DeviceForKey(11), 2);
+  // Out-of-range keys clamp to the last device rather than crash.
+  EXPECT_EQ(cluster.DeviceForKey(99), 2);
+}
+
+TEST(GpuClusterTest, HashedPlacementIsStableAndSpread) {
+  GpuCluster cluster(4, SmallGpu());
+  cluster.SetPlacement(PlacementStrategy::kHashed, 0);
+  std::set<int> devices;
+  for (uint64_t key = 0; key < 64; ++key) {
+    EXPECT_EQ(cluster.DeviceForKey(key), cluster.DeviceForKey(key));
+    devices.insert(cluster.DeviceForKey(key));
+  }
+  EXPECT_EQ(devices.size(), 4u);
+}
+
+TEST(GpuClusterTest, RoundRobinIsTheDefault) {
+  GpuCluster cluster(5, SmallGpu());
+  for (uint64_t key = 0; key < 25; ++key) {
+    EXPECT_EQ(cluster.DeviceForKey(key), static_cast<int>(key % 5));
+  }
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  clock.Advance(1.5);
+  clock.Advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+}
+
+TEST(SimClockTest, AdvanceToNeverGoesBackwards) {
+  SimClock clock;
+  clock.AdvanceTo(5.0);
+  clock.AdvanceTo(3.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+}
+
+TEST(SimClockTest, ResetReturnsToZero) {
+  SimClock clock;
+  clock.Advance(10.0);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace fmoe

@@ -1,0 +1,146 @@
+#include "src/memsim/link.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fmoe {
+namespace {
+
+LinkConfig TestLink() {
+  LinkConfig config;
+  config.bandwidth_bytes_per_sec = 1000.0;  // 1000 B/s: 1 byte = 1 ms, easy arithmetic.
+  config.fixed_latency_sec = 0.0;
+  return config;
+}
+
+TEST(PcieLinkTest, TransferDurationIsBytesOverBandwidth) {
+  PcieLink link(TestLink());
+  EXPECT_DOUBLE_EQ(link.TransferDuration(500), 0.5);
+}
+
+TEST(PcieLinkTest, FixedLatencyAdds) {
+  LinkConfig config = TestLink();
+  config.fixed_latency_sec = 0.1;
+  PcieLink link(config);
+  EXPECT_DOUBLE_EQ(link.TransferDuration(500), 0.6);
+}
+
+TEST(PcieLinkTest, DemandLoadCompletesAfterTransferTime) {
+  PcieLink link(TestLink());
+  EXPECT_DOUBLE_EQ(link.DemandLoad(0.0, 100), 0.1);
+}
+
+TEST(PcieLinkTest, BackToBackDemandLoadsSerialize) {
+  PcieLink link(TestLink());
+  EXPECT_DOUBLE_EQ(link.DemandLoad(0.0, 100), 0.1);
+  // Issued at t=0.05 while the first is still in flight: starts at 0.1.
+  EXPECT_DOUBLE_EQ(link.DemandLoad(0.05, 100), 0.2);
+}
+
+TEST(PcieLinkTest, PrefetchStartsWhenTimeReachesIt) {
+  PcieLink link(TestLink());
+  std::vector<std::pair<uint64_t, double>> completions;
+  link.set_completion_callback([&](uint64_t tag, double t) { completions.emplace_back(tag, t); });
+  link.EnqueuePrefetch(0.0, /*tag=*/1, 100);
+  // Enqueued while idle: starts immediately, callback fires at enqueue time with completion.
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].first, 1u);
+  EXPECT_DOUBLE_EQ(completions[0].second, 0.1);
+}
+
+TEST(PcieLinkTest, QueuedPrefetchWaitsForBusyLink) {
+  PcieLink link(TestLink());
+  std::vector<double> completions;
+  link.set_completion_callback([&](uint64_t, double t) { completions.push_back(t); });
+  link.DemandLoad(0.0, 100);  // Busy until 0.1.
+  link.EnqueuePrefetch(0.0, 1, 100);
+  EXPECT_TRUE(completions.empty());  // Cannot start at t=0 (link busy).
+  link.Tick(0.1);  // Time reaches the start point.
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_DOUBLE_EQ(completions[0], 0.2);
+}
+
+TEST(PcieLinkTest, DemandJumpsAheadOfQueuedPrefetches) {
+  PcieLink link(TestLink());
+  std::vector<double> prefetch_completions;
+  link.set_completion_callback([&](uint64_t, double t) { prefetch_completions.push_back(t); });
+  link.DemandLoad(0.0, 100);       // Busy until 0.1.
+  link.EnqueuePrefetch(0.0, 1, 100);  // Queued behind.
+  // A demand load at t=0.05 waits only for the in-flight transfer, not the queued prefetch.
+  EXPECT_DOUBLE_EQ(link.DemandLoad(0.05, 100), 0.2);
+  // The queued prefetch now starts after the demand finishes.
+  link.Tick(0.2);
+  ASSERT_EQ(prefetch_completions.size(), 1u);
+  EXPECT_DOUBLE_EQ(prefetch_completions[0], 0.3);
+}
+
+TEST(PcieLinkTest, CancelQueuedPrefetchPreventsTransfer) {
+  PcieLink link(TestLink());
+  int callbacks = 0;
+  link.set_completion_callback([&](uint64_t, double) { ++callbacks; });
+  link.DemandLoad(0.0, 100);
+  link.EnqueuePrefetch(0.0, 7, 100);
+  EXPECT_TRUE(link.CancelQueuedPrefetch(7));
+  link.Tick(1.0);
+  EXPECT_EQ(callbacks, 0);
+  EXPECT_EQ(link.queued_prefetch_count(), 0u);
+}
+
+TEST(PcieLinkTest, CancelMissingTagReturnsFalse) {
+  PcieLink link(TestLink());
+  EXPECT_FALSE(link.CancelQueuedPrefetch(99));
+}
+
+TEST(PcieLinkTest, PrefetchChainRunsInFifoOrder) {
+  PcieLink link(TestLink());
+  std::vector<uint64_t> order;
+  link.set_completion_callback([&](uint64_t tag, double) { order.push_back(tag); });
+  link.DemandLoad(0.0, 100);
+  link.EnqueuePrefetch(0.0, 1, 100);
+  link.EnqueuePrefetch(0.0, 2, 100);
+  link.Tick(10.0);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+}
+
+TEST(PcieLinkTest, StatsTrackBytesAndCounts) {
+  PcieLink link(TestLink());
+  link.DemandLoad(0.0, 100);
+  link.EnqueuePrefetch(0.0, 1, 50);
+  link.Tick(10.0);
+  EXPECT_EQ(link.total_demand_bytes(), 100u);
+  EXPECT_EQ(link.total_prefetch_bytes(), 50u);
+  EXPECT_EQ(link.demand_load_count(), 1u);
+  EXPECT_EQ(link.prefetch_count(), 1u);
+  EXPECT_GT(link.total_demand_wait_sec(), 0.0);
+  link.ResetStats();
+  EXPECT_EQ(link.total_demand_bytes(), 0u);
+  EXPECT_EQ(link.prefetch_count(), 0u);
+}
+
+TEST(PcieLinkTest, IdleLinkHasNoQueuedWork) {
+  PcieLink link(TestLink());
+  EXPECT_EQ(link.queued_prefetch_count(), 0u);
+  EXPECT_DOUBLE_EQ(link.busy_until(), 0.0);
+}
+
+TEST(PcieLinkTest, DemandAtLaterTimeStartsImmediately) {
+  PcieLink link(TestLink());
+  link.DemandLoad(0.0, 100);  // Busy until 0.1.
+  // Issued at 0.5, link long idle: completes at 0.6.
+  EXPECT_DOUBLE_EQ(link.DemandLoad(0.5, 100), 0.6);
+}
+
+TEST(PcieLinkTest, PrefetchEnqueuedWhileIdleAtLaterTimeStartsThen) {
+  PcieLink link(TestLink());
+  std::vector<double> completions;
+  link.set_completion_callback([&](uint64_t, double t) { completions.push_back(t); });
+  link.EnqueuePrefetch(2.0, 1, 100);
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_DOUBLE_EQ(completions[0], 2.1);
+}
+
+}  // namespace
+}  // namespace fmoe

@@ -1,0 +1,39 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace fmoe {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LogMacroEvaluatesStreamExpression) {
+  SetLogLevel(LogLevel::kError);  // Below threshold: message dropped, must not crash.
+  FMOE_LOG(LogLevel::kDebug, "value=" << 42);
+  SetLogLevel(LogLevel::kWarning);
+}
+
+TEST(LoggingTest, ChecksPassSilently) {
+  FMOE_CHECK(1 + 1 == 2);
+  FMOE_CHECK_MSG(true, "never rendered " << 3);
+}
+
+using LoggingDeathTest = ::testing::Test;
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(FMOE_CHECK(false), "failed: false");
+}
+
+TEST(LoggingDeathTest, CheckMsgIncludesMessage) {
+  EXPECT_DEATH(FMOE_CHECK_MSG(2 > 3, "math broke at " << 7), "math broke at 7");
+}
+
+}  // namespace
+}  // namespace fmoe

@@ -1,0 +1,129 @@
+#include "src/core/map_matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace fmoe {
+namespace {
+
+ModelConfig Tiny() { return TinyTestConfig(); }
+
+StoredIteration Record(uint64_t id, double spike_base, double ex, double ey) {
+  const ModelConfig cfg = Tiny();
+  StoredIteration record;
+  record.request_id = id;
+  record.map = ExpertMap(cfg.num_layers, cfg.experts_per_layer);
+  for (int l = 0; l < cfg.num_layers; ++l) {
+    std::vector<double> row(static_cast<size_t>(cfg.experts_per_layer), 0.02);
+    row[static_cast<size_t>((static_cast<int>(spike_base) + l) % cfg.experts_per_layer)] = 0.9;
+    record.map.SetLayer(l, row);
+  }
+  record.embedding = {ex, ey};
+  return record;
+}
+
+class HybridMatcherTest : public ::testing::Test {
+ protected:
+  HybridMatcherTest() : store_(Tiny(), 8, 2) {
+    store_.Insert(Record(1, 0, 1.0, 0.0));
+    store_.Insert(Record(2, 3, 0.0, 1.0));
+  }
+  ExpertMapStore store_;
+};
+
+TEST_F(HybridMatcherTest, SemanticGuidesEarlyLayers) {
+  HybridMatcher matcher(&store_, Tiny(), 2, MatcherOptions{});
+  matcher.BeginIteration(std::vector<double>{0.95, 0.05});
+  const Guidance g0 = matcher.GuidanceFor(0);
+  ASSERT_TRUE(g0.valid);
+  // Matched record 1 spikes expert (0 + layer) at each layer.
+  EXPECT_GT(g0.probs[0], 0.5);
+  const Guidance g1 = matcher.GuidanceFor(1);
+  ASSERT_TRUE(g1.valid);
+  EXPECT_GT(g1.probs[1], 0.5);
+  EXPECT_GT(matcher.semantic_score(), 0.9);
+}
+
+TEST_F(HybridMatcherTest, TrajectoryGuidesLaterLayersAfterObservation) {
+  HybridMatcher matcher(&store_, Tiny(), 2, MatcherOptions{});
+  matcher.BeginIteration(std::vector<double>{0.0, 1.0});  // Semantic match: record 2.
+  // Observe layer 0 matching record 1's trajectory (spike at expert 0).
+  const auto layer0 = store_.Get(0).map.Layer(0);
+  matcher.ObserveLayer(0, layer0);
+  const Guidance g = matcher.GuidanceFor(2);
+  ASSERT_TRUE(g.valid);
+  EXPECT_TRUE(matcher.trajectory_found());
+  // Trajectory match should pick record 1 despite the semantic match preferring record 2:
+  // record 1 spikes expert (0 + 2) = 2 at layer 2.
+  EXPECT_GT(g.probs[2], 0.5);
+}
+
+TEST_F(HybridMatcherTest, FallsBackToSemanticWhenTrajectoryDisabled) {
+  MatcherOptions options;
+  options.use_trajectory = false;
+  HybridMatcher matcher(&store_, Tiny(), 2, options);
+  matcher.BeginIteration(std::vector<double>{1.0, 0.0});
+  matcher.ObserveLayer(0, store_.Get(1).map.Layer(0));
+  const Guidance g = matcher.GuidanceFor(3);
+  ASSERT_TRUE(g.valid);  // Semantic fallback.
+  EXPECT_GT(g.probs[3], 0.5);  // Record 1 spikes expert 3 at layer 3.
+}
+
+TEST_F(HybridMatcherTest, NoGuidanceWithEverythingDisabled) {
+  MatcherOptions options;
+  options.use_semantic = false;
+  options.use_trajectory = false;
+  HybridMatcher matcher(&store_, Tiny(), 2, options);
+  matcher.BeginIteration(std::vector<double>{1.0, 0.0});
+  EXPECT_FALSE(matcher.GuidanceFor(0).valid);
+  matcher.ObserveLayer(0, store_.Get(0).map.Layer(0));
+  EXPECT_FALSE(matcher.GuidanceFor(2).valid);
+}
+
+TEST_F(HybridMatcherTest, OutOfRangeTargetsAreInvalid) {
+  HybridMatcher matcher(&store_, Tiny(), 2, MatcherOptions{});
+  matcher.BeginIteration(std::vector<double>{1.0, 0.0});
+  EXPECT_FALSE(matcher.GuidanceFor(-1).valid);
+  EXPECT_FALSE(matcher.GuidanceFor(Tiny().num_layers).valid);
+}
+
+TEST_F(HybridMatcherTest, RematchCadenceLimitsSearches) {
+  MatcherOptions options;
+  options.rematch_interval = 3;
+  HybridMatcher matcher(&store_, Tiny(), 1, options);
+  matcher.BeginIteration(std::vector<double>{1.0, 0.0});
+  matcher.ConsumeSearchFlops();  // Drop the semantic search cost.
+  // First observation always triggers a trajectory match.
+  matcher.ObserveLayer(0, store_.Get(0).map.Layer(0));
+  EXPECT_GT(matcher.ConsumeSearchFlops(), 0u);
+  // Next observation is within the cadence: no new search.
+  matcher.ObserveLayer(1, store_.Get(0).map.Layer(1));
+  EXPECT_EQ(matcher.ConsumeSearchFlops(), 0u);
+}
+
+TEST_F(HybridMatcherTest, ConsumeSearchFlopsDrainsCounter) {
+  HybridMatcher matcher(&store_, Tiny(), 2, MatcherOptions{});
+  matcher.BeginIteration(std::vector<double>{1.0, 0.0});
+  EXPECT_GT(matcher.ConsumeSearchFlops(), 0u);
+  EXPECT_EQ(matcher.ConsumeSearchFlops(), 0u);
+}
+
+TEST_F(HybridMatcherTest, BeginIterationResetsTrajectoryState) {
+  HybridMatcher matcher(&store_, Tiny(), 2, MatcherOptions{});
+  matcher.BeginIteration(std::vector<double>{1.0, 0.0});
+  matcher.ObserveLayer(0, store_.Get(0).map.Layer(0));
+  EXPECT_TRUE(matcher.trajectory_found());
+  matcher.BeginIteration(std::vector<double>{1.0, 0.0});
+  EXPECT_FALSE(matcher.trajectory_found());
+}
+
+TEST(HybridMatcherEmptyStoreTest, NoGuidanceFromEmptyStore) {
+  ExpertMapStore empty(Tiny(), 4, 2);
+  HybridMatcher matcher(&empty, Tiny(), 2, MatcherOptions{});
+  matcher.BeginIteration(std::vector<double>{1.0, 0.0});
+  EXPECT_FALSE(matcher.GuidanceFor(0).valid);
+  matcher.ObserveLayer(0, std::vector<double>(6, 1.0 / 6));
+  EXPECT_FALSE(matcher.GuidanceFor(3).valid);
+}
+
+}  // namespace
+}  // namespace fmoe

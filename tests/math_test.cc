@@ -1,0 +1,250 @@
+#include "src/util/math.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fmoe {
+namespace {
+
+TEST(DotTest, BasicDotProduct) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+}
+
+TEST(DotTest, EmptyVectorsDotToZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(Dot(empty, empty), 0.0);
+}
+
+TEST(NormTest, PythagoreanTriple) {
+  const std::vector<double> v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Norm(v), 5.0);
+}
+
+TEST(CosineSimilarityTest, IdenticalVectorsScoreOne) {
+  const std::vector<double> v{0.2, 0.5, 0.3};
+  EXPECT_NEAR(CosineSimilarity(v, v), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarityTest, OppositeVectorsScoreMinusOne) {
+  const std::vector<double> a{1.0, -2.0};
+  const std::vector<double> b{-1.0, 2.0};
+  EXPECT_NEAR(CosineSimilarity(a, b), -1.0, 1e-12);
+}
+
+TEST(CosineSimilarityTest, OrthogonalVectorsScoreZero) {
+  const std::vector<double> a{1.0, 0.0};
+  const std::vector<double> b{0.0, 1.0};
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.0, 1e-12);
+}
+
+TEST(CosineSimilarityTest, ZeroVectorScoresZero) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+}
+
+TEST(CosineSimilarityTest, ScaleInvariant) {
+  const std::vector<double> a{0.1, 0.7, 0.2};
+  std::vector<double> scaled(a);
+  for (double& v : scaled) {
+    v *= 17.0;
+  }
+  EXPECT_NEAR(CosineSimilarity(a, scaled), 1.0, 1e-12);
+}
+
+TEST(SoftmaxTest, SumsToOne) {
+  const std::vector<double> logits{1.0, 2.0, 3.0, -1.0};
+  const std::vector<double> probs = Softmax(logits);
+  const double sum = std::accumulate(probs.begin(), probs.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(SoftmaxTest, PreservesOrdering) {
+  const std::vector<double> probs = Softmax(std::vector<double>{1.0, 3.0, 2.0});
+  EXPECT_GT(probs[1], probs[2]);
+  EXPECT_GT(probs[2], probs[0]);
+}
+
+TEST(SoftmaxTest, UniformLogitsGiveUniformProbs) {
+  const std::vector<double> probs = Softmax(std::vector<double>{5.0, 5.0, 5.0, 5.0});
+  for (double p : probs) {
+    EXPECT_NEAR(p, 0.25, 1e-12);
+  }
+}
+
+TEST(SoftmaxTest, LowTemperatureSharpens) {
+  const std::vector<double> logits{1.0, 2.0};
+  const std::vector<double> warm = Softmax(logits, 1.0);
+  const std::vector<double> cold = Softmax(logits, 0.25);
+  EXPECT_GT(cold[1], warm[1]);
+}
+
+TEST(SoftmaxTest, HandlesLargeLogitsWithoutOverflow) {
+  const std::vector<double> probs = Softmax(std::vector<double>{1000.0, 999.0});
+  EXPECT_TRUE(std::isfinite(probs[0]));
+  EXPECT_GT(probs[0], probs[1]);
+}
+
+TEST(SoftmaxTest, EmptyInputIsNoop) {
+  std::vector<double> empty;
+  SoftmaxInPlace(empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(EntropyTest, UniformDistributionIsLogN) {
+  const std::vector<double> uniform{0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(Entropy(uniform), std::log(4.0), 1e-12);
+}
+
+TEST(EntropyTest, DeterministicDistributionIsZero) {
+  const std::vector<double> point{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(Entropy(point), 0.0);
+}
+
+TEST(EntropyTest, PeakedLowerThanUniform) {
+  const std::vector<double> peaked{0.9, 0.05, 0.03, 0.02};
+  const std::vector<double> uniform{0.25, 0.25, 0.25, 0.25};
+  EXPECT_LT(Entropy(peaked), Entropy(uniform));
+}
+
+TEST(NormalizedEntropyTest, UniformIsOne) {
+  const std::vector<double> uniform{0.2, 0.2, 0.2, 0.2, 0.2};
+  EXPECT_NEAR(NormalizedEntropy(uniform), 1.0, 1e-12);
+}
+
+TEST(NormalizedEntropyTest, SingleElementIsZero) {
+  const std::vector<double> single{1.0};
+  EXPECT_DOUBLE_EQ(NormalizedEntropy(single), 0.0);
+}
+
+TEST(TopKIndicesTest, PicksLargestInOrder) {
+  const std::vector<double> values{0.1, 0.5, 0.3, 0.7};
+  const std::vector<size_t> top = TopKIndices(values, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 3u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(TopKIndicesTest, KLargerThanSizeReturnsAll) {
+  const std::vector<double> values{0.3, 0.1};
+  EXPECT_EQ(TopKIndices(values, 10).size(), 2u);
+}
+
+TEST(TopKIndicesTest, TiesBrokenByLowerIndex) {
+  const std::vector<double> values{0.5, 0.5, 0.5};
+  const std::vector<size_t> top = TopKIndices(values, 2);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(MassCoverIndicesTest, CoversThreshold) {
+  const std::vector<double> probs{0.5, 0.3, 0.15, 0.05};
+  const std::vector<size_t> picked = MassCoverIndices(probs, 0.75, 1);
+  // 0.5 alone is below 0.75; 0.5 + 0.3 = 0.8 covers it.
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0], 0u);
+  EXPECT_EQ(picked[1], 1u);
+}
+
+TEST(MassCoverIndicesTest, RespectsMinCountEvenWhenThresholdMet) {
+  const std::vector<double> probs{0.9, 0.05, 0.03, 0.02};
+  const std::vector<size_t> picked = MassCoverIndices(probs, 0.5, 3);
+  EXPECT_EQ(picked.size(), 3u);
+}
+
+TEST(MassCoverIndicesTest, ZeroThresholdReturnsMinCount) {
+  const std::vector<double> probs{0.4, 0.3, 0.2, 0.1};
+  EXPECT_EQ(MassCoverIndices(probs, 0.0, 2).size(), 2u);
+}
+
+TEST(MassCoverIndicesTest, MinCountCappedAtSize) {
+  const std::vector<double> probs{0.6, 0.4};
+  EXPECT_EQ(MassCoverIndices(probs, 0.0, 10).size(), 2u);
+}
+
+TEST(MassCoverIndicesTest, FullThresholdSelectsEverything) {
+  const std::vector<double> probs{0.4, 0.3, 0.2, 0.1};
+  EXPECT_EQ(MassCoverIndices(probs, 1.0, 1).size(), 4u);
+}
+
+TEST(NormalizeInPlaceTest, SumsToOne) {
+  std::vector<double> values{2.0, 6.0, 2.0};
+  NormalizeInPlace(values);
+  EXPECT_NEAR(values[0], 0.2, 1e-12);
+  EXPECT_NEAR(values[1], 0.6, 1e-12);
+}
+
+TEST(NormalizeInPlaceTest, ZeroSumBecomesUniform) {
+  std::vector<double> values{0.0, 0.0, 0.0, 0.0};
+  NormalizeInPlace(values);
+  for (double v : values) {
+    EXPECT_NEAR(v, 0.25, 1e-12);
+  }
+}
+
+TEST(ClipTest, ClampsBothSides) {
+  EXPECT_DOUBLE_EQ(Clip(-0.5, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clip(1.5, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clip(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(AddInPlaceTest, ElementwiseAddition) {
+  std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{0.5, 0.5};
+  AddInPlace(a, b);
+  EXPECT_DOUBLE_EQ(a[0], 1.5);
+  EXPECT_DOUBLE_EQ(a[1], 2.5);
+}
+
+// Property sweep: softmax output is always a valid distribution for many temperatures.
+class SoftmaxPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SoftmaxPropertyTest, ProducesValidDistribution) {
+  const double temperature = GetParam();
+  const std::vector<double> logits{-3.0, 0.0, 2.5, 7.0, -1.2, 0.4};
+  const std::vector<double> probs = Softmax(logits, temperature);
+  double sum = 0.0;
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, SoftmaxPropertyTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 10.0));
+
+// Property sweep: MassCoverIndices always returns unique indices, sorted by probability.
+class MassCoverPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MassCoverPropertyTest, SelectionIsGreedyAndUnique) {
+  const double threshold = GetParam();
+  const std::vector<double> probs{0.05, 0.32, 0.18, 0.02, 0.25, 0.1, 0.08};
+  const std::vector<size_t> picked = MassCoverIndices(probs, threshold, 2);
+  ASSERT_GE(picked.size(), 2u);
+  for (size_t i = 1; i < picked.size(); ++i) {
+    EXPECT_GE(probs[picked[i - 1]], probs[picked[i]]);
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_NE(picked[i], picked[j]);
+    }
+  }
+  double mass = 0.0;
+  for (size_t idx : picked) {
+    mass += probs[idx];
+  }
+  if (picked.size() < probs.size()) {
+    EXPECT_GE(mass, threshold - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, MassCoverPropertyTest,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 0.99));
+
+}  // namespace
+}  // namespace fmoe

@@ -1,0 +1,429 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/eam_policy.h"
+#include "src/baselines/on_demand_policy.h"
+#include "src/baselines/speculative_policy.h"
+#include "src/core/fmoe_policy.h"
+#include "src/harness/systems.h"
+#include "tests/fake_engine.h"
+
+namespace fmoe {
+namespace {
+
+ModelConfig Tiny() { return TinyTestConfig(); }
+
+Request MakeRequest(uint64_t id = 1) {
+  Request request;
+  request.id = id;
+  request.routing.cluster = 1;
+  request.routing.blend_cluster = 1;
+  request.routing.seed = id * 1000 + 7;
+  request.prompt_tokens = 16;
+  request.decode_tokens = 4;
+  return request;
+}
+
+IterationContext MakeContext(const Request& request, int iteration) {
+  IterationContext context;
+  context.request = &request;
+  context.iteration = iteration;
+  context.batch_slot = 0;
+  context.embedding = {1.0, 0.0, 0.0};
+  return context;
+}
+
+// ---------------------------------------------------------------------------
+// OnDemandPolicy (DeepSpeed-Inference)
+
+TEST(OnDemandPolicyTest, ExpertAgnosticPullsWholeLayer) {
+  FakeEngine engine(Tiny(), 3);
+  OnDemandPolicy policy;
+  const Request request = MakeRequest();
+  const IterationContext context = MakeContext(request, 1);
+  const std::vector<double> probs(6, 1.0 / 6);
+  policy.OnGateOutput(engine, context, /*layer=*/2, probs, {0, 1});
+  EXPECT_EQ(engine.prefetches.size(), static_cast<size_t>(Tiny().experts_per_layer));
+  for (const auto& call : engine.prefetches) {
+    EXPECT_EQ(call.id.layer, 2);
+  }
+}
+
+TEST(OnDemandPolicyTest, ExpertAwareVariantIssuesNothing) {
+  FakeEngine engine(Tiny(), 3);
+  OnDemandOptions options;
+  options.expert_agnostic = false;
+  OnDemandPolicy policy(options);
+  const Request request = MakeRequest();
+  policy.OnGateOutput(engine, MakeContext(request, 1), 0, std::vector<double>(6, 1.0 / 6),
+                      {0, 1});
+  EXPECT_TRUE(engine.prefetches.empty());
+  EXPECT_TRUE(engine.blocking_loads.empty());
+}
+
+// ---------------------------------------------------------------------------
+// SpeculativePolicy (Mixtral-Offloading / ProMoE)
+
+TEST(SpeculativePolicyTest, MixtralOffloadingBlocksOnNextLayer) {
+  FakeEngine engine(Tiny(), 3);
+  SpeculativePolicy policy(Tiny(), MixtralOffloadingOptions());
+  const Request request = MakeRequest();
+  policy.OnGateOutput(engine, MakeContext(request, 1), 0, std::vector<double>(6, 1.0 / 6),
+                      {0, 1});
+  // top_k blocking loads for layer 1 (distance 1), plus the same transfers started async.
+  ASSERT_EQ(engine.blocking_loads.size(), static_cast<size_t>(Tiny().top_k));
+  for (const auto& call : engine.blocking_loads) {
+    EXPECT_EQ(call.id.layer, 1);
+  }
+  EXPECT_EQ(engine.last_speculative_distance, 1);
+}
+
+TEST(SpeculativePolicyTest, MixtralOffloadingDoesNotPrefetchAtStart) {
+  FakeEngine engine(Tiny(), 3);
+  SpeculativePolicy policy(Tiny(), MixtralOffloadingOptions());
+  const Request request = MakeRequest();
+  policy.OnIterationStart(engine, MakeContext(request, 1));
+  EXPECT_TRUE(engine.prefetches.empty());
+  EXPECT_TRUE(engine.blocking_loads.empty());
+}
+
+TEST(SpeculativePolicyTest, ProMoeIsAsynchronous) {
+  FakeEngine engine(Tiny(), 3);
+  SpeculativePolicy policy(Tiny(), ProMoeOptions(3));
+  const Request request = MakeRequest();
+  policy.OnGateOutput(engine, MakeContext(request, 1), 0, std::vector<double>(6, 1.0 / 6),
+                      {0, 1});
+  EXPECT_TRUE(engine.blocking_loads.empty());
+  ASSERT_FALSE(engine.prefetches.empty());
+  for (const auto& call : engine.prefetches) {
+    EXPECT_EQ(call.id.layer, 3);  // layer 0 + distance 3.
+  }
+}
+
+TEST(SpeculativePolicyTest, ProMoeCoversInitialLayersAtIterationStart) {
+  FakeEngine engine(Tiny(), 3);
+  SpeculativePolicy policy(Tiny(), ProMoeOptions(3));
+  const Request request = MakeRequest();
+  policy.OnIterationStart(engine, MakeContext(request, 1));
+  bool layers_covered[3] = {false, false, false};
+  for (const auto& call : engine.prefetches) {
+    ASSERT_LT(call.id.layer, 3);
+    layers_covered[call.id.layer] = true;
+  }
+  EXPECT_TRUE(layers_covered[0] && layers_covered[1] && layers_covered[2]);
+}
+
+TEST(SpeculativePolicyTest, PredictorSkillShortensEffectiveDistance) {
+  FakeEngine engine(Tiny(), 3);
+  SpeculativeOptions options = ProMoeOptions(3);
+  options.predictor_skill = 0.45;
+  SpeculativePolicy policy(Tiny(), options);
+  const Request request = MakeRequest();
+  policy.OnGateOutput(engine, MakeContext(request, 1), 0, std::vector<double>(6, 1.0 / 6),
+                      {0, 1});
+  EXPECT_EQ(engine.last_speculative_distance, 1);  // round(3 * 0.45) = 1.
+}
+
+TEST(SpeculativePolicyTest, NoPrefetchBeyondLastLayer) {
+  FakeEngine engine(Tiny(), 3);
+  SpeculativePolicy policy(Tiny(), ProMoeOptions(3));
+  const Request request = MakeRequest();
+  const int last_layer = Tiny().num_layers - 1;
+  policy.OnGateOutput(engine, MakeContext(request, 1), last_layer,
+                      std::vector<double>(6, 1.0 / 6), {0, 1});
+  EXPECT_TRUE(engine.prefetches.empty());
+}
+
+TEST(SpeculativePolicyTest, SynchronousDecisionAddsOverhead) {
+  FakeEngine engine(Tiny(), 3);
+  SpeculativePolicy policy(Tiny(), MixtralOffloadingOptions());
+  const Request request = MakeRequest();
+  policy.OnGateOutput(engine, MakeContext(request, 1), 0, std::vector<double>(6, 1.0 / 6),
+                      {0, 1});
+  EXPECT_GT(engine.sync_overhead[static_cast<size_t>(OverheadCategory::kMapMatching)], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// EamPolicy (MoE-Infinity / HitCount ablation)
+
+TEST(EamPolicyTest, RecordsActivationsAtRequestLevel) {
+  FakeEngine engine(Tiny(), 3);
+  EamPolicy policy(Tiny(), 3, EamOptions{});
+  const Request request = MakeRequest();
+  const IterationContext context = MakeContext(request, 1);
+  policy.OnRequestAdmitted(engine, context);
+  policy.OnGateOutput(engine, context, 0, std::vector<double>(6, 1.0 / 6), {2, 4});
+  // Not yet folded into history.
+  EXPECT_DOUBLE_EQ(policy.GlobalCount(0, 2), 0.0);
+  policy.OnRequestCompleted(engine, context);
+  EXPECT_DOUBLE_EQ(policy.GlobalCount(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(policy.GlobalCount(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(policy.GlobalCount(0, 0), 0.0);
+}
+
+TEST(EamPolicyTest, PrefetchesTopCountedExperts) {
+  FakeEngine engine(Tiny(), 2);
+  EamPolicy policy(Tiny(), 2, EamOptions{});
+  const Request history = MakeRequest(1);
+  const IterationContext history_context = MakeContext(history, 1);
+  policy.OnRequestAdmitted(engine, history_context);
+  // Layer 2 consistently activates experts 1 and 3.
+  for (int i = 0; i < 5; ++i) {
+    policy.OnGateOutput(engine, history_context, 2, std::vector<double>(6, 1.0 / 6), {1, 3});
+  }
+  policy.OnRequestCompleted(engine, history_context);
+
+  engine.prefetches.clear();
+  const Request fresh = MakeRequest(2);
+  const IterationContext fresh_context = MakeContext(fresh, 1);
+  policy.OnRequestAdmitted(engine, fresh_context);
+  policy.OnGateOutput(engine, fresh_context, 0, std::vector<double>(6, 1.0 / 6), {0, 5});
+  // Target layer 0 + 2 = 2: predictions should be the historical experts 1 and 3.
+  std::vector<int> predicted;
+  for (const auto& call : engine.prefetches) {
+    EXPECT_EQ(call.id.layer, 2);
+    predicted.push_back(call.id.expert);
+  }
+  EXPECT_NE(std::find(predicted.begin(), predicted.end(), 1), predicted.end());
+  EXPECT_NE(std::find(predicted.begin(), predicted.end(), 3), predicted.end());
+}
+
+TEST(EamPolicyTest, RequestCountsBlendIntoPrediction) {
+  FakeEngine engine(Tiny(), 2);
+  EamOptions options;
+  options.request_blend_weight = 100.0;  // Current request dominates.
+  EamPolicy policy(Tiny(), 2, options);
+  const Request request = MakeRequest();
+  const IterationContext context = MakeContext(request, 1);
+  policy.OnRequestAdmitted(engine, context);
+  policy.OnGateOutput(engine, context, 2, std::vector<double>(6, 1.0 / 6), {5});
+  engine.prefetches.clear();
+  policy.OnGateOutput(engine, context, 0, std::vector<double>(6, 1.0 / 6), {0});
+  bool predicted_5 = false;
+  for (const auto& call : engine.prefetches) {
+    predicted_5 |= call.id.expert == 5;
+  }
+  EXPECT_TRUE(predicted_5);
+}
+
+TEST(EamPolicyTest, ResetClearsHistory) {
+  FakeEngine engine(Tiny(), 2);
+  EamPolicy policy(Tiny(), 2, EamOptions{});
+  const Request request = MakeRequest();
+  const IterationContext context = MakeContext(request, 1);
+  policy.OnRequestAdmitted(engine, context);
+  policy.OnGateOutput(engine, context, 0, std::vector<double>(6, 1.0 / 6), {1});
+  policy.OnRequestCompleted(engine, context);
+  policy.Reset();
+  EXPECT_DOUBLE_EQ(policy.GlobalCount(0, 1), 0.0);
+}
+
+TEST(EamPolicyTest, SynchronousDecisionOverheadCharged) {
+  FakeEngine engine(Tiny(), 2);
+  EamPolicy policy(Tiny(), 2, EamOptions{});
+  const Request request = MakeRequest();
+  const IterationContext context = MakeContext(request, 1);
+  policy.OnRequestAdmitted(engine, context);
+  policy.OnGateOutput(engine, context, 0, std::vector<double>(6, 1.0 / 6), {1});
+  EXPECT_GT(engine.sync_overhead[static_cast<size_t>(OverheadCategory::kMapMatching)], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// FmoePolicy
+
+class FmoePolicyTest : public ::testing::Test {
+ protected:
+  FmoePolicyTest() : engine_(Tiny(), 2) {
+    FmoeOptions options;
+    options.store_capacity = 16;
+    policy_ = std::make_unique<FmoePolicy>(Tiny(), 2, options);
+  }
+
+  // Runs one full fake iteration so the store acquires a record.
+  void SeedStoreWithIteration(const Request& request, int iteration) {
+    const IterationContext context = MakeContext(request, iteration);
+    policy_->OnIterationStart(engine_, context);
+    std::vector<std::vector<double>> layer_probs;
+    for (int l = 0; l < Tiny().num_layers; ++l) {
+      std::vector<double> probs(6, 0.02);
+      probs[static_cast<size_t>(l % 6)] = 0.9;
+      policy_->OnGateOutput(engine_, context, l, probs, {l % 6});
+      layer_probs.push_back(probs);
+    }
+    policy_->OnIterationEnd(engine_, context, layer_probs);
+  }
+
+  FakeEngine engine_;
+  std::unique_ptr<FmoePolicy> policy_;
+};
+
+TEST_F(FmoePolicyTest, StoresMapsAfterIterations) {
+  const Request request = MakeRequest();
+  EXPECT_EQ(policy_->store().size(), 0u);
+  SeedStoreWithIteration(request, 1);
+  EXPECT_EQ(policy_->store().size(), 1u);
+  SeedStoreWithIteration(request, 2);
+  EXPECT_EQ(policy_->store().size(), 2u);
+}
+
+TEST_F(FmoePolicyTest, PrefetchesGuidedLayersOnceStoreHasHistory) {
+  const Request request = MakeRequest();
+  SeedStoreWithIteration(request, 1);
+  engine_.prefetches.clear();
+  const IterationContext context = MakeContext(request, 2);
+  policy_->OnIterationStart(engine_, context);
+  // Semantic window: layers 0..d-1 should receive prefetches.
+  bool covered[2] = {false, false};
+  for (const auto& call : engine_.prefetches) {
+    ASSERT_LT(call.id.layer, 2);
+    covered[call.id.layer] = true;
+  }
+  EXPECT_TRUE(covered[0] && covered[1]);
+}
+
+TEST_F(FmoePolicyTest, TrajectoryPrefetchTargetsLayerPlusDistance) {
+  const Request request = MakeRequest();
+  SeedStoreWithIteration(request, 1);
+  const IterationContext context = MakeContext(request, 2);
+  policy_->OnIterationStart(engine_, context);
+  engine_.prefetches.clear();
+  std::vector<double> probs(6, 0.02);
+  probs[0] = 0.9;
+  policy_->OnGateOutput(engine_, context, 0, probs, {0});
+  for (const auto& call : engine_.prefetches) {
+    EXPECT_EQ(call.id.layer, 2);  // 0 + distance 2.
+  }
+}
+
+TEST_F(FmoePolicyTest, ChargesOnlyContextCollectionSynchronously) {
+  const Request request = MakeRequest();
+  SeedStoreWithIteration(request, 1);
+  SeedStoreWithIteration(request, 2);  // Second iteration searches a non-empty store.
+  EXPECT_GT(engine_.sync_overhead[static_cast<size_t>(OverheadCategory::kContextCollection)],
+            0.0);
+  EXPECT_DOUBLE_EQ(engine_.sync_overhead[static_cast<size_t>(OverheadCategory::kMapMatching)],
+                   0.0);
+  // Matching and store updates ran asynchronously.
+  EXPECT_GT(engine_.async_work[static_cast<size_t>(OverheadCategory::kMapMatching)], 0.0);
+}
+
+TEST_F(FmoePolicyTest, PrefetchCallsOrderedByPriority) {
+  const Request request = MakeRequest();
+  SeedStoreWithIteration(request, 1);
+  const IterationContext context = MakeContext(request, 2);
+  policy_->OnIterationStart(engine_, context);
+  engine_.prefetches.clear();
+  std::vector<double> probs(6, 0.02);
+  probs[1] = 0.9;
+  policy_->OnGateOutput(engine_, context, 0, probs, {1});
+  for (size_t i = 1; i < engine_.prefetches.size(); ++i) {
+    EXPECT_GE(engine_.prefetches[i - 1].priority, engine_.prefetches[i].priority);
+  }
+}
+
+TEST_F(FmoePolicyTest, ScoreLogRecordsIterations) {
+  policy_->EnableScoreLog();
+  const Request request = MakeRequest();
+  SeedStoreWithIteration(request, 1);
+  SeedStoreWithIteration(request, 2);
+  EXPECT_EQ(policy_->score_log().size(), 2u);
+  // The second iteration matched against a non-empty store.
+  EXPECT_TRUE(policy_->score_log()[1].semantic_valid);
+}
+
+TEST_F(FmoePolicyTest, MeanScoresTrackMatching) {
+  const Request request = MakeRequest();
+  SeedStoreWithIteration(request, 1);
+  SeedStoreWithIteration(request, 2);
+  EXPECT_GT(policy_->MeanSemanticScore(), 0.0);
+  EXPECT_GT(policy_->MeanTrajectoryScore(), 0.0);
+}
+
+TEST_F(FmoePolicyTest, ResetClearsStoreAndScores) {
+  const Request request = MakeRequest();
+  SeedStoreWithIteration(request, 1);
+  policy_->Reset();
+  EXPECT_EQ(policy_->store().size(), 0u);
+  EXPECT_DOUBLE_EQ(policy_->MeanSemanticScore(), 0.0);
+}
+
+TEST_F(FmoePolicyTest, MixedPrecisionThresholdRoutesLowProbabilityCandidates) {
+  FmoeOptions options;
+  options.store_capacity = 16;
+  options.low_precision_threshold = 0.5;
+  options.low_precision_fraction = 0.5;
+  FmoePolicy policy(Tiny(), 2, options);
+  FakeEngine engine(Tiny(), 2);
+  const Request request = MakeRequest();
+  // Seed one iteration so guidance exists.
+  IterationContext context = MakeContext(request, 1);
+  policy.OnIterationStart(engine, context);
+  std::vector<std::vector<double>> layer_probs;
+  for (int l = 0; l < Tiny().num_layers; ++l) {
+    std::vector<double> probs(6, 0.02);
+    probs[static_cast<size_t>(l % 6)] = 0.9;
+    policy.OnGateOutput(engine, context, l, probs, {l % 6});
+    layer_probs.push_back(probs);
+  }
+  policy.OnIterationEnd(engine, context, layer_probs);
+
+  engine.prefetches.clear();
+  context = MakeContext(request, 2);
+  policy.OnIterationStart(engine, context);
+  bool saw_full = false;
+  bool saw_reduced = false;
+  for (const auto& call : engine.prefetches) {
+    if (call.probability >= 0.5) {
+      EXPECT_DOUBLE_EQ(call.size_fraction, 1.0);
+      saw_full = true;
+    } else {
+      EXPECT_DOUBLE_EQ(call.size_fraction, 0.5);
+      saw_reduced = true;
+    }
+  }
+  EXPECT_TRUE(saw_full);
+  EXPECT_TRUE(saw_reduced);
+}
+
+// ---------------------------------------------------------------------------
+// System registry
+
+TEST(SystemsTest, PaperSystemNamesBuildable) {
+  for (const std::string& name : PaperSystemNames()) {
+    const SystemSpec spec = MakeSystem(name, Tiny(), 3);
+    EXPECT_EQ(spec.name, name);
+    ASSERT_NE(spec.policy, nullptr);
+    EXPECT_FALSE(spec.cache_policy.empty());
+  }
+}
+
+TEST(SystemsTest, AblationVariantsBuildable) {
+  for (const std::string name :
+       {"Map(T)", "Map(T+S)", "Map(T+S+d)", "Speculate", "HitCount", "fMoE-LRU", "fMoE-LFU",
+        "fMoE-FIFOStore", "No-offload"}) {
+    const SystemSpec spec = MakeSystem(name, Tiny(), 3);
+    ASSERT_NE(spec.policy, nullptr) << name;
+  }
+}
+
+TEST(SystemsTest, NoOffloadPreloadsEverything) {
+  EXPECT_TRUE(MakeSystem("No-offload", Tiny(), 3).preload_all);
+  EXPECT_FALSE(MakeSystem("fMoE", Tiny(), 3).preload_all);
+}
+
+TEST(SystemsTest, CachePoliciesMatchPaper) {
+  EXPECT_EQ(MakeSystem("fMoE", Tiny(), 3).cache_policy, "fMoE-PriorityLFU");
+  EXPECT_EQ(MakeSystem("MoE-Infinity", Tiny(), 3).cache_policy, "LFU");
+  EXPECT_EQ(MakeSystem("Mixtral-Offloading", Tiny(), 3).cache_policy, "LRU");
+  EXPECT_EQ(MakeSystem("DeepSpeed-Inference", Tiny(), 3).cache_policy, "LRU");
+}
+
+using SystemsDeathTest = ::testing::Test;
+
+TEST(SystemsDeathTest, UnknownSystemAborts) {
+  EXPECT_DEATH(MakeSystem("NotASystem", Tiny(), 3), "unknown system");
+}
+
+}  // namespace
+}  // namespace fmoe

@@ -1,0 +1,98 @@
+#include "src/core/prefetcher.h"
+
+#include <gtest/gtest.h>
+
+namespace fmoe {
+namespace {
+
+TEST(SelectionThresholdTest, MatchesPaperClipFormula) {
+  EXPECT_DOUBLE_EQ(SelectionThreshold(1.0), 0.0);   // Perfect match: minimal prefetching.
+  EXPECT_DOUBLE_EQ(SelectionThreshold(0.0), 1.0);   // No confidence: cover everything.
+  EXPECT_DOUBLE_EQ(SelectionThreshold(0.7), 0.3);
+  EXPECT_DOUBLE_EQ(SelectionThreshold(-0.5), 1.0);  // Negative scores clip at 1.
+}
+
+TEST(SelectExpertsTest, HighScoreSelectsMinimumCount) {
+  const std::vector<double> probs{0.5, 0.3, 0.1, 0.05, 0.05};
+  const auto picked = SelectExperts(probs, /*score=*/0.99, /*top_k=*/2, /*target=*/3,
+                                    /*current=*/0, PrefetcherOptions{});
+  // delta ~ 0.01, but Constraint 8 requires more than K experts: K + 1 = 3.
+  EXPECT_EQ(picked.size(), 3u);
+}
+
+TEST(SelectExpertsTest, LowScoreSelectsMore) {
+  const std::vector<double> probs{0.3, 0.25, 0.2, 0.15, 0.1};
+  const auto confident = SelectExperts(probs, 0.95, 2, 3, 0, PrefetcherOptions{});
+  const auto unsure = SelectExperts(probs, 0.1, 2, 3, 0, PrefetcherOptions{});
+  EXPECT_GT(unsure.size(), confident.size());
+}
+
+TEST(SelectExpertsTest, ZeroScoreCoversAlmostAllMass) {
+  const std::vector<double> probs{0.4, 0.3, 0.2, 0.05, 0.05};
+  const auto picked = SelectExperts(probs, 0.0, 2, 3, 0, PrefetcherOptions{});
+  double mass = 0.0;
+  for (const auto& c : picked) {
+    mass += c.probability;
+  }
+  EXPECT_GE(mass, 1.0 - 1e-9);
+}
+
+TEST(SelectExpertsTest, PriorityIsProbabilityOverDistance) {
+  const std::vector<double> probs{0.6, 0.4};
+  const auto picked = SelectExperts(probs, 0.5, 1, /*target=*/5, /*current=*/2,
+                                    PrefetcherOptions{});
+  ASSERT_GE(picked.size(), 2u);
+  EXPECT_DOUBLE_EQ(picked[0].priority, 0.6 / 3.0);
+  EXPECT_DOUBLE_EQ(picked[1].priority, 0.4 / 3.0);
+}
+
+TEST(SelectExpertsTest, SortedByDescendingPriority) {
+  const std::vector<double> probs{0.1, 0.5, 0.2, 0.2};
+  const auto picked = SelectExperts(probs, 0.0, 2, 4, 1, PrefetcherOptions{});
+  for (size_t i = 1; i < picked.size(); ++i) {
+    EXPECT_GE(picked[i - 1].priority, picked[i].priority);
+  }
+  EXPECT_EQ(picked[0].expert, 1);
+}
+
+TEST(SelectExpertsTest, FixedThresholdOptionIgnoresScore) {
+  PrefetcherOptions options;
+  options.dynamic_threshold = false;
+  const std::vector<double> probs{0.3, 0.25, 0.2, 0.15, 0.1};
+  const auto low = SelectExperts(probs, 0.1, 2, 3, 0, options);
+  const auto high = SelectExperts(probs, 0.9, 2, 3, 0, options);
+  EXPECT_EQ(low.size(), high.size());
+  EXPECT_EQ(low.size(), 3u);  // top_k + min_extra_experts.
+}
+
+TEST(SelectExpertsTest, MinExtraExpertsConfigurable) {
+  PrefetcherOptions options;
+  options.min_extra_experts = 2;
+  const std::vector<double> probs{0.9, 0.05, 0.03, 0.01, 0.01};
+  const auto picked = SelectExperts(probs, 0.99, 2, 3, 0, options);
+  EXPECT_EQ(picked.size(), 4u);  // top_k + 2.
+}
+
+TEST(SelectExpertsTest, SelectionCappedAtExpertCount) {
+  const std::vector<double> probs{0.6, 0.4};
+  const auto picked = SelectExperts(probs, 0.0, 2, 3, 0, PrefetcherOptions{});
+  EXPECT_EQ(picked.size(), 2u);
+}
+
+TEST(SelectExpertsTest, CandidatesCarryProbabilities) {
+  const std::vector<double> probs{0.7, 0.2, 0.1};
+  const auto picked = SelectExperts(probs, 0.5, 1, 2, 0, PrefetcherOptions{});
+  ASSERT_FALSE(picked.empty());
+  EXPECT_EQ(picked[0].expert, 0);
+  EXPECT_DOUBLE_EQ(picked[0].probability, 0.7);
+}
+
+using SelectExpertsDeathTest = ::testing::Test;
+
+TEST(SelectExpertsDeathTest, TargetMustBeAhead) {
+  const std::vector<double> probs{0.5, 0.5};
+  EXPECT_DEATH(SelectExperts(probs, 0.5, 1, 2, 2, PrefetcherOptions{}), "target_layer");
+}
+
+}  // namespace
+}  // namespace fmoe

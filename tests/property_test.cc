@@ -1,0 +1,152 @@
+// Property-style invariants swept across models, seeds, and policies with TEST_P. These guard
+// the simulation's conservation laws: probability validity, hit/miss accounting, time
+// monotonicity, and cache/GPU memory consistency under every policy.
+#include <memory>
+#include <numeric>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/systems.h"
+#include "src/moe/gate_simulator.h"
+#include "src/serving/engine.h"
+#include "src/workload/workload.h"
+
+namespace fmoe {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Gate invariants across (model, seed).
+
+class GateInvariantTest : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(GateInvariantTest, DistributionsAndActivationsAreConsistent) {
+  const auto [model_idx, seed] = GetParam();
+  ModelConfig config = TinyTestConfig();
+  if (model_idx == 1) {
+    config.experts_per_layer = 12;
+    config.top_k = 3;
+  } else if (model_idx == 2) {
+    config.num_layers = 8;
+    config.experts_per_layer = 4;
+    config.top_k = 1;
+  }
+  const GateSimulator gate(config, GateProfile{}, seed);
+  RequestRouting routing;
+  routing.cluster = static_cast<int>(seed % 8);
+  routing.blend_cluster = routing.cluster;
+  routing.seed = seed * 31 + 1;
+  for (int iteration = 0; iteration < 6; ++iteration) {
+    for (int layer = 0; layer < config.num_layers; ++layer) {
+      const auto probs = gate.Distribution(routing, iteration, layer);
+      const double sum = std::accumulate(probs.begin(), probs.end(), 0.0);
+      ASSERT_NEAR(sum, 1.0, 1e-9);
+      const auto activated = gate.ActivatedExperts(routing, iteration, layer, 16);
+      ASSERT_GE(activated.size(), static_cast<size_t>(config.top_k));
+      for (int expert : activated) {
+        ASSERT_GE(expert, 0);
+        ASSERT_LT(expert, config.experts_per_layer);
+      }
+      // Speculation is a valid distribution at every distance.
+      for (int distance : {1, 3, 6}) {
+        const auto spec = gate.SpeculativeDistribution(routing, iteration, layer, distance);
+        const double spec_sum = std::accumulate(spec.begin(), spec.end(), 0.0);
+        ASSERT_NEAR(spec_sum, 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelsAndSeeds, GateInvariantTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1u, 42u, 1234u)));
+
+// ---------------------------------------------------------------------------
+// Engine conservation laws across (system, cache fraction).
+
+class EngineInvariantTest
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(EngineInvariantTest, ConservationLawsHold) {
+  const auto& [system_name, cache_fraction] = GetParam();
+  const ModelConfig model = TinyTestConfig();
+  SystemSpec spec = MakeSystem(system_name, model, 2, /*fmoe_store_capacity=*/64);
+  EngineConfig config;
+  config.prefetch_distance = 2;
+  config.expert_cache_bytes = spec.preload_all
+                                  ? 0
+                                  : static_cast<uint64_t>(cache_fraction *
+                                                          model.total_expert_bytes());
+  config.cache_policy = spec.cache_policy;
+  config.preload_all = spec.preload_all;
+  config.gpu_count = 3;
+  ServingEngine engine(model, config, spec.policy.get());
+
+  WorkloadGenerator generator(LmsysLikeProfile(), 99);
+  double previous_completion = 0.0;
+  for (Request& request : generator.Generate(8)) {
+    request.decode_tokens = std::min(request.decode_tokens, 8);
+    const RequestMetrics metrics = engine.ServeRequest(request);
+    // Time is monotone and causally ordered.
+    ASSERT_LE(metrics.start_time, metrics.first_token_time);
+    ASSERT_LE(metrics.first_token_time, metrics.completion_time);
+    ASSERT_GE(metrics.start_time, previous_completion);
+    previous_completion = metrics.completion_time;
+  }
+
+  const RunMetrics& metrics = engine.metrics();
+  // Activation accounting: every iteration's hits+misses equals layers * activated experts
+  // (>= top_k per layer for decode; prefill can activate more).
+  for (const IterationRecord& record : metrics.iteration_records()) {
+    ASSERT_GE(record.hits + record.misses,
+              static_cast<uint64_t>(model.num_layers * model.top_k));
+  }
+  // Cache within budget; GPU accounting balances.
+  ASSERT_LE(engine.cache().used_bytes(), engine.cache().capacity_bytes());
+  ASSERT_EQ(engine.cluster().total_used_bytes(), engine.cache().used_bytes());
+  // Breakdown components are non-negative and sum below total runtime.
+  const LatencyBreakdown& breakdown = metrics.breakdown();
+  ASSERT_GE(breakdown.attention_compute, 0.0);
+  ASSERT_GE(breakdown.expert_compute, 0.0);
+  ASSERT_GE(breakdown.demand_stall, 0.0);
+  ASSERT_GE(breakdown.TotalSyncOverhead(), 0.0);
+  // Hit rate is a valid fraction.
+  ASSERT_GE(metrics.HitRate(), 0.0);
+  ASSERT_LE(metrics.HitRate(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SystemsAndCaches, EngineInvariantTest,
+    ::testing::Combine(::testing::Values("fMoE", "MoE-Infinity", "ProMoE",
+                                         "Mixtral-Offloading", "DeepSpeed-Inference",
+                                         "No-offload", "Map(T)", "Speculate"),
+                       ::testing::Values(0.15, 0.4, 1.0)));
+
+// ---------------------------------------------------------------------------
+// Workload invariants across datasets and seeds.
+
+class WorkloadInvariantTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(WorkloadInvariantTest, RequestsAreWellFormed) {
+  const auto [dataset_idx, seed] = GetParam();
+  const DatasetProfile profile = AllPaperDatasets()[static_cast<size_t>(dataset_idx)];
+  WorkloadGenerator generator(profile, seed);
+  for (const Request& request : generator.Generate(300)) {
+    ASSERT_GE(request.prompt_tokens, profile.min_prompt_tokens);
+    ASSERT_LE(request.prompt_tokens, profile.max_prompt_tokens);
+    ASSERT_GE(request.decode_tokens, profile.min_decode_tokens);
+    ASSERT_LE(request.decode_tokens, profile.max_decode_tokens);
+    ASSERT_GE(request.routing.blend_weight, 0.0);
+    ASSERT_LE(request.routing.blend_weight, profile.max_blend_weight);
+    ASSERT_GT(request.routing.noise_multiplier, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DatasetsAndSeeds, WorkloadInvariantTest,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(7u, 77u, 777u)));
+
+}  // namespace
+}  // namespace fmoe

@@ -1,0 +1,55 @@
+#include "src/util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fmoe {
+namespace {
+
+TEST(AsciiTableTest, PrintsHeadersAndRows) {
+  AsciiTable table({"system", "tpot"});
+  table.AddRow({"fMoE", "0.12"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("system"), std::string::npos);
+  EXPECT_NE(text.find("fMoE"), std::string::npos);
+  EXPECT_NE(text.find("0.12"), std::string::npos);
+}
+
+TEST(AsciiTableTest, ColumnsPadToWidestCell) {
+  AsciiTable table({"a", "b"});
+  table.AddRow({"longer-cell", "x"});
+  std::ostringstream out;
+  table.Print(out);
+  // The header row must be as wide as the data row.
+  std::istringstream lines(out.str());
+  std::string rule;
+  std::string header;
+  std::getline(lines, rule);
+  std::getline(lines, header);
+  EXPECT_EQ(rule.size(), header.size());
+}
+
+TEST(AsciiTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(AsciiTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::Num(2.0, 0), "2");
+  EXPECT_EQ(AsciiTable::Num(0.5, 3), "0.500");
+}
+
+TEST(AsciiTableTest, EmptyTableStillPrintsHeader) {
+  AsciiTable table({"only"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(PrintBannerTest, WrapsTitle) {
+  std::ostringstream out;
+  PrintBanner(out, "Figure 9");
+  EXPECT_NE(out.str().find("=== Figure 9 ==="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fmoe

@@ -1,0 +1,77 @@
+#include "src/serving/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace fmoe {
+namespace {
+
+TEST(TraceGeneratorTest, ArrivalsStrictlyIncrease) {
+  TraceGenerator generator(TraceProfile{}, LmsysLikeProfile(), 1);
+  const auto requests = generator.Generate(200);
+  ASSERT_EQ(requests.size(), 200u);
+  for (size_t i = 1; i < requests.size(); ++i) {
+    EXPECT_GT(requests[i].arrival_time, requests[i - 1].arrival_time);
+  }
+}
+
+TEST(TraceGeneratorTest, Deterministic) {
+  TraceGenerator a(TraceProfile{}, LmsysLikeProfile(), 42);
+  TraceGenerator b(TraceProfile{}, LmsysLikeProfile(), 42);
+  const auto ra = a.Generate(50);
+  const auto rb = b.Generate(50);
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra[i].arrival_time, rb[i].arrival_time);
+    EXPECT_EQ(ra[i].prompt_tokens, rb[i].prompt_tokens);
+  }
+}
+
+TEST(TraceGeneratorTest, MeanInterArrivalRoughlyMatchesRate) {
+  TraceProfile trace;
+  trace.mean_arrival_rate = 2.0;
+  trace.burst_probability = 0.0;  // Pure Poisson.
+  TraceGenerator generator(trace, LmsysLikeProfile(), 7);
+  const auto requests = generator.Generate(4000);
+  const double span = requests.back().arrival_time - requests.front().arrival_time;
+  const double mean_gap = span / static_cast<double>(requests.size() - 1);
+  EXPECT_NEAR(mean_gap, 0.5, 0.05);
+}
+
+TEST(TraceGeneratorTest, BurstsCompressArrivals) {
+  TraceProfile bursty;
+  bursty.burst_probability = 0.5;
+  bursty.burst_rate_multiplier = 10.0;
+  TraceProfile calm;
+  calm.burst_probability = 0.0;
+  TraceGenerator a(bursty, LmsysLikeProfile(), 9);
+  TraceGenerator b(calm, LmsysLikeProfile(), 9);
+  const double bursty_end = a.Generate(500).back().arrival_time;
+  const double calm_end = b.Generate(500).back().arrival_time;
+  EXPECT_LT(bursty_end, calm_end);
+}
+
+TEST(TraceGeneratorTest, LengthsRespectTraceCaps) {
+  TraceProfile trace;
+  trace.max_prompt_tokens = 64;
+  trace.min_prompt_tokens = 16;
+  trace.max_decode_tokens = 32;
+  trace.min_decode_tokens = 8;
+  TraceGenerator generator(trace, LmsysLikeProfile(), 11);
+  for (const Request& r : generator.Generate(500)) {
+    EXPECT_GE(r.prompt_tokens, 16);
+    EXPECT_LE(r.prompt_tokens, 64);
+    EXPECT_GE(r.decode_tokens, 8);
+    EXPECT_LE(r.decode_tokens, 32);
+  }
+}
+
+TEST(TraceGeneratorTest, PromptSemanticsComeFromDataset) {
+  const DatasetProfile dataset = LmsysLikeProfile();
+  TraceGenerator generator(TraceProfile{}, dataset, 13);
+  for (const Request& r : generator.Generate(200)) {
+    EXPECT_GE(r.routing.cluster, 0);
+    EXPECT_LT(r.routing.cluster, dataset.num_clusters);
+  }
+}
+
+}  // namespace
+}  // namespace fmoe
