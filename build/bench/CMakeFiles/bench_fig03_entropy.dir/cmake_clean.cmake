@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_entropy.dir/bench_fig03_entropy.cc.o"
+  "CMakeFiles/bench_fig03_entropy.dir/bench_fig03_entropy.cc.o.d"
+  "bench_fig03_entropy"
+  "bench_fig03_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig04_hitrate_distance.cc" "bench/CMakeFiles/bench_fig04_hitrate_distance.dir/bench_fig04_hitrate_distance.cc.o" "gcc" "bench/CMakeFiles/bench_fig04_hitrate_distance.dir/bench_fig04_hitrate_distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/fmoe_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fmoe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fmoe_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/fmoe_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/fmoe_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fmoe_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fmoe_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/moe/CMakeFiles/fmoe_moe.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fmoe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cache_limits.dir/bench_fig11_cache_limits.cc.o"
+  "CMakeFiles/bench_fig11_cache_limits.dir/bench_fig11_cache_limits.cc.o.d"
+  "bench_fig11_cache_limits"
+  "bench_fig11_cache_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cache_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

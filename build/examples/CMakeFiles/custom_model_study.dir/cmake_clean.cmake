@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_model_study.dir/custom_model_study.cpp.o"
+  "CMakeFiles/custom_model_study.dir/custom_model_study.cpp.o.d"
+  "custom_model_study"
+  "custom_model_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_model_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

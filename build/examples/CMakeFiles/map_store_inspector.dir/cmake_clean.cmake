@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_store_inspector.dir/map_store_inspector.cpp.o"
+  "CMakeFiles/map_store_inspector.dir/map_store_inspector.cpp.o.d"
+  "map_store_inspector"
+  "map_store_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_store_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for map_store_inspector.
+# This may be replaced when dependencies are built.

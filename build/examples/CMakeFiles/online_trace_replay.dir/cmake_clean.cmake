@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_trace_replay.dir/online_trace_replay.cpp.o"
+  "CMakeFiles/online_trace_replay.dir/online_trace_replay.cpp.o.d"
+  "online_trace_replay"
+  "online_trace_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/eam_policy.cc" "src/baselines/CMakeFiles/fmoe_baselines.dir/eam_policy.cc.o" "gcc" "src/baselines/CMakeFiles/fmoe_baselines.dir/eam_policy.cc.o.d"
+  "/root/repo/src/baselines/on_demand_policy.cc" "src/baselines/CMakeFiles/fmoe_baselines.dir/on_demand_policy.cc.o" "gcc" "src/baselines/CMakeFiles/fmoe_baselines.dir/on_demand_policy.cc.o.d"
+  "/root/repo/src/baselines/speculative_policy.cc" "src/baselines/CMakeFiles/fmoe_baselines.dir/speculative_policy.cc.o" "gcc" "src/baselines/CMakeFiles/fmoe_baselines.dir/speculative_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/moe/CMakeFiles/fmoe_moe.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fmoe_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fmoe_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

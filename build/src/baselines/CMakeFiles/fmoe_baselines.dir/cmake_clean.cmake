@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmoe_baselines.dir/eam_policy.cc.o"
+  "CMakeFiles/fmoe_baselines.dir/eam_policy.cc.o.d"
+  "CMakeFiles/fmoe_baselines.dir/on_demand_policy.cc.o"
+  "CMakeFiles/fmoe_baselines.dir/on_demand_policy.cc.o.d"
+  "CMakeFiles/fmoe_baselines.dir/speculative_policy.cc.o"
+  "CMakeFiles/fmoe_baselines.dir/speculative_policy.cc.o.d"
+  "libfmoe_baselines.a"
+  "libfmoe_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmoe_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmoe_cache.dir/eviction_policy.cc.o"
+  "CMakeFiles/fmoe_cache.dir/eviction_policy.cc.o.d"
+  "CMakeFiles/fmoe_cache.dir/expert_cache.cc.o"
+  "CMakeFiles/fmoe_cache.dir/expert_cache.cc.o.d"
+  "libfmoe_cache.a"
+  "libfmoe_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmoe_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/expert_map.cc" "src/core/CMakeFiles/fmoe_core.dir/expert_map.cc.o" "gcc" "src/core/CMakeFiles/fmoe_core.dir/expert_map.cc.o.d"
+  "/root/repo/src/core/fmoe_policy.cc" "src/core/CMakeFiles/fmoe_core.dir/fmoe_policy.cc.o" "gcc" "src/core/CMakeFiles/fmoe_core.dir/fmoe_policy.cc.o.d"
+  "/root/repo/src/core/map_matcher.cc" "src/core/CMakeFiles/fmoe_core.dir/map_matcher.cc.o" "gcc" "src/core/CMakeFiles/fmoe_core.dir/map_matcher.cc.o.d"
+  "/root/repo/src/core/map_store.cc" "src/core/CMakeFiles/fmoe_core.dir/map_store.cc.o" "gcc" "src/core/CMakeFiles/fmoe_core.dir/map_store.cc.o.d"
+  "/root/repo/src/core/map_store_io.cc" "src/core/CMakeFiles/fmoe_core.dir/map_store_io.cc.o" "gcc" "src/core/CMakeFiles/fmoe_core.dir/map_store_io.cc.o.d"
+  "/root/repo/src/core/prefetcher.cc" "src/core/CMakeFiles/fmoe_core.dir/prefetcher.cc.o" "gcc" "src/core/CMakeFiles/fmoe_core.dir/prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/moe/CMakeFiles/fmoe_moe.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fmoe_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fmoe_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmoe_core.dir/expert_map.cc.o"
+  "CMakeFiles/fmoe_core.dir/expert_map.cc.o.d"
+  "CMakeFiles/fmoe_core.dir/fmoe_policy.cc.o"
+  "CMakeFiles/fmoe_core.dir/fmoe_policy.cc.o.d"
+  "CMakeFiles/fmoe_core.dir/map_matcher.cc.o"
+  "CMakeFiles/fmoe_core.dir/map_matcher.cc.o.d"
+  "CMakeFiles/fmoe_core.dir/map_store.cc.o"
+  "CMakeFiles/fmoe_core.dir/map_store.cc.o.d"
+  "CMakeFiles/fmoe_core.dir/map_store_io.cc.o"
+  "CMakeFiles/fmoe_core.dir/map_store_io.cc.o.d"
+  "CMakeFiles/fmoe_core.dir/prefetcher.cc.o"
+  "CMakeFiles/fmoe_core.dir/prefetcher.cc.o.d"
+  "libfmoe_core.a"
+  "libfmoe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmoe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmoe_harness.dir/experiment.cc.o"
+  "CMakeFiles/fmoe_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/fmoe_harness.dir/report.cc.o"
+  "CMakeFiles/fmoe_harness.dir/report.cc.o.d"
+  "CMakeFiles/fmoe_harness.dir/systems.cc.o"
+  "CMakeFiles/fmoe_harness.dir/systems.cc.o.d"
+  "libfmoe_harness.a"
+  "libfmoe_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmoe_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/gpu.cc" "src/memsim/CMakeFiles/fmoe_memsim.dir/gpu.cc.o" "gcc" "src/memsim/CMakeFiles/fmoe_memsim.dir/gpu.cc.o.d"
+  "/root/repo/src/memsim/link.cc" "src/memsim/CMakeFiles/fmoe_memsim.dir/link.cc.o" "gcc" "src/memsim/CMakeFiles/fmoe_memsim.dir/link.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fmoe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmoe_memsim.dir/gpu.cc.o"
+  "CMakeFiles/fmoe_memsim.dir/gpu.cc.o.d"
+  "CMakeFiles/fmoe_memsim.dir/link.cc.o"
+  "CMakeFiles/fmoe_memsim.dir/link.cc.o.d"
+  "libfmoe_memsim.a"
+  "libfmoe_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmoe_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moe/cost_model.cc" "src/moe/CMakeFiles/fmoe_moe.dir/cost_model.cc.o" "gcc" "src/moe/CMakeFiles/fmoe_moe.dir/cost_model.cc.o.d"
+  "/root/repo/src/moe/embedding.cc" "src/moe/CMakeFiles/fmoe_moe.dir/embedding.cc.o" "gcc" "src/moe/CMakeFiles/fmoe_moe.dir/embedding.cc.o.d"
+  "/root/repo/src/moe/gate_simulator.cc" "src/moe/CMakeFiles/fmoe_moe.dir/gate_simulator.cc.o" "gcc" "src/moe/CMakeFiles/fmoe_moe.dir/gate_simulator.cc.o.d"
+  "/root/repo/src/moe/model_config.cc" "src/moe/CMakeFiles/fmoe_moe.dir/model_config.cc.o" "gcc" "src/moe/CMakeFiles/fmoe_moe.dir/model_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fmoe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmoe_moe.dir/cost_model.cc.o"
+  "CMakeFiles/fmoe_moe.dir/cost_model.cc.o.d"
+  "CMakeFiles/fmoe_moe.dir/embedding.cc.o"
+  "CMakeFiles/fmoe_moe.dir/embedding.cc.o.d"
+  "CMakeFiles/fmoe_moe.dir/gate_simulator.cc.o"
+  "CMakeFiles/fmoe_moe.dir/gate_simulator.cc.o.d"
+  "CMakeFiles/fmoe_moe.dir/model_config.cc.o"
+  "CMakeFiles/fmoe_moe.dir/model_config.cc.o.d"
+  "libfmoe_moe.a"
+  "libfmoe_moe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmoe_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

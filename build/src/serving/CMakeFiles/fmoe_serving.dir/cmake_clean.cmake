@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmoe_serving.dir/engine.cc.o"
+  "CMakeFiles/fmoe_serving.dir/engine.cc.o.d"
+  "CMakeFiles/fmoe_serving.dir/metrics.cc.o"
+  "CMakeFiles/fmoe_serving.dir/metrics.cc.o.d"
+  "CMakeFiles/fmoe_serving.dir/scheduler.cc.o"
+  "CMakeFiles/fmoe_serving.dir/scheduler.cc.o.d"
+  "CMakeFiles/fmoe_serving.dir/trace.cc.o"
+  "CMakeFiles/fmoe_serving.dir/trace.cc.o.d"
+  "libfmoe_serving.a"
+  "libfmoe_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmoe_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

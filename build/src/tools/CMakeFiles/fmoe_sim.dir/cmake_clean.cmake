@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmoe_sim.dir/fmoe_sim.cc.o"
+  "CMakeFiles/fmoe_sim.dir/fmoe_sim.cc.o.d"
+  "fmoe_sim"
+  "fmoe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmoe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

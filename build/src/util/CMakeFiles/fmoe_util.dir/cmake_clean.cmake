@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmoe_util.dir/flags.cc.o"
+  "CMakeFiles/fmoe_util.dir/flags.cc.o.d"
+  "CMakeFiles/fmoe_util.dir/histogram.cc.o"
+  "CMakeFiles/fmoe_util.dir/histogram.cc.o.d"
+  "CMakeFiles/fmoe_util.dir/logging.cc.o"
+  "CMakeFiles/fmoe_util.dir/logging.cc.o.d"
+  "CMakeFiles/fmoe_util.dir/math.cc.o"
+  "CMakeFiles/fmoe_util.dir/math.cc.o.d"
+  "CMakeFiles/fmoe_util.dir/stats.cc.o"
+  "CMakeFiles/fmoe_util.dir/stats.cc.o.d"
+  "CMakeFiles/fmoe_util.dir/table.cc.o"
+  "CMakeFiles/fmoe_util.dir/table.cc.o.d"
+  "libfmoe_util.a"
+  "libfmoe_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmoe_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmoe_workload.dir/trace_io.cc.o"
+  "CMakeFiles/fmoe_workload.dir/trace_io.cc.o.d"
+  "CMakeFiles/fmoe_workload.dir/workload.cc.o"
+  "CMakeFiles/fmoe_workload.dir/workload.cc.o.d"
+  "libfmoe_workload.a"
+  "libfmoe_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmoe_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

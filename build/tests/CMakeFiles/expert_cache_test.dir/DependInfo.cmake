@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/expert_cache_test.cc" "tests/CMakeFiles/expert_cache_test.dir/expert_cache_test.cc.o" "gcc" "tests/CMakeFiles/expert_cache_test.dir/expert_cache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/fmoe_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fmoe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fmoe_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/fmoe_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/fmoe_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fmoe_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fmoe_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/moe/CMakeFiles/fmoe_moe.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fmoe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

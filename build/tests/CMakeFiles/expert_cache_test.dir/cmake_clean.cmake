@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_cache_test.dir/expert_cache_test.cc.o"
+  "CMakeFiles/expert_cache_test.dir/expert_cache_test.cc.o.d"
+  "expert_cache_test"
+  "expert_cache_test.pdb"
+  "expert_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_map_test.dir/expert_map_test.cc.o"
+  "CMakeFiles/expert_map_test.dir/expert_map_test.cc.o.d"
+  "expert_map_test"
+  "expert_map_test.pdb"
+  "expert_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

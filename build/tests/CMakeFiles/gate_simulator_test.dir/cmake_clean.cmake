@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_simulator_test.dir/gate_simulator_test.cc.o"
+  "CMakeFiles/gate_simulator_test.dir/gate_simulator_test.cc.o.d"
+  "gate_simulator_test"
+  "gate_simulator_test.pdb"
+  "gate_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_statistics_test.dir/gate_statistics_test.cc.o"
+  "CMakeFiles/gate_statistics_test.dir/gate_statistics_test.cc.o.d"
+  "gate_statistics_test"
+  "gate_statistics_test.pdb"
+  "gate_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_store_test.dir/map_store_test.cc.o"
+  "CMakeFiles/map_store_test.dir/map_store_test.cc.o.d"
+  "map_store_test"
+  "map_store_test.pdb"
+  "map_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
