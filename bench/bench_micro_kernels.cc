@@ -41,7 +41,8 @@ ExpertMapStore FilledStore(const ModelConfig& model, size_t capacity, int embedd
   return store;
 }
 
-void BM_SemanticSearch(benchmark::State& state) {
+// The SoA semantic search (one batched strided pass + precomputed norms).
+void BM_SemanticSearchSoA(benchmark::State& state) {
   const ModelConfig model = MixtralConfig();
   const int embedding_dim = 72;
   const ExpertMapStore store = FilledStore(model, static_cast<size_t>(state.range(0)),
@@ -56,13 +57,44 @@ void BM_SemanticSearch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_SemanticSearch)->Arg(128)->Arg(512)->Arg(1024);
+BENCHMARK(BM_SemanticSearchSoA)->Arg(128)->Arg(512)->Arg(1024)->Arg(4096);
 
+// The seed's semantic scan: scalar double-precision CosineSimilarity per materialized record.
+void BM_SemanticSearchReference(benchmark::State& state) {
+  const ModelConfig model = MixtralConfig();
+  const int embedding_dim = 72;
+  const ExpertMapStore store = FilledStore(model, static_cast<size_t>(state.range(0)),
+                                           embedding_dim);
+  Rng rng(11);
+  std::vector<double> query(static_cast<size_t>(embedding_dim));
+  for (double& v : query) {
+    v = rng.NextGaussian();
+  }
+  for (auto _ : state) {
+    SearchResult result;
+    for (size_t i = 0; i < store.size(); ++i) {
+      if (store.Get(i).embedding.size() != query.size()) {
+        continue;
+      }
+      const double score = CosineSimilarity(query, store.Get(i).embedding);
+      if (!result.found || score > result.score) {
+        result.found = true;
+        result.index = i;
+        result.score = score;
+      }
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SemanticSearchReference)->Arg(128)->Arg(512)->Arg(1024)->Arg(4096);
+
+// One-shot trajectory search on the SoA engine. Args: (store records, prefix layers).
 void BM_TrajectorySearch(benchmark::State& state) {
   const ModelConfig model = MixtralConfig();
-  const ExpertMapStore store = FilledStore(model, 512, 72);
+  const ExpertMapStore store = FilledStore(model, static_cast<size_t>(state.range(0)), 72);
   Rng rng(13);
-  const int prefix_layers = static_cast<int>(state.range(0));
+  const int prefix_layers = static_cast<int>(state.range(1));
   std::vector<double> prefix(static_cast<size_t>(prefix_layers * model.experts_per_layer));
   for (double& v : prefix) {
     v = rng.NextDouble();
@@ -70,18 +102,89 @@ void BM_TrajectorySearch(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(store.TrajectorySearch(prefix, prefix_layers));
   }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_TrajectorySearch)->Arg(4)->Arg(16)->Arg(31);
+BENCHMARK(BM_TrajectorySearch)
+    ->Args({512, 4})
+    ->Args({512, 16})
+    ->Args({512, 31})
+    ->Args({4096, 4})
+    ->Args({4096, 16})
+    ->Args({4096, 31});
 
-void BM_StoreDedupInsert(benchmark::State& state) {
+// The seed implementation of the same search: scalar double-precision CosineSimilarity over
+// each record's materialized prefix span — the before side of the before/after pair.
+void BM_TrajectorySearchReference(benchmark::State& state) {
   const ModelConfig model = MixtralConfig();
-  ExpertMapStore store = FilledStore(model, 512, 72);
+  const ExpertMapStore store = FilledStore(model, static_cast<size_t>(state.range(0)), 72);
+  Rng rng(13);
+  const int prefix_layers = static_cast<int>(state.range(1));
+  std::vector<double> prefix(static_cast<size_t>(prefix_layers * model.experts_per_layer));
+  for (double& v : prefix) {
+    v = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    SearchResult result;
+    for (size_t i = 0; i < store.size(); ++i) {
+      const double score = CosineSimilarity(prefix, store.Get(i).map.Prefix(prefix_layers));
+      if (!result.found || score > result.score) {
+        result.found = true;
+        result.index = i;
+        result.score = score;
+      }
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrajectorySearchReference)
+    ->Args({512, 4})
+    ->Args({512, 16})
+    ->Args({512, 31})
+    ->Args({4096, 4})
+    ->Args({4096, 16})
+    ->Args({4096, 31});
+
+// One full decode iteration of trajectory matching through the incremental session: observe
+// all L layers, read the best match on the matcher's default cadence (every 4 layers). This is
+// the per-iteration cost the async-overhead model charges (Fig. 15).
+void BM_TrajectorySearchIncremental(benchmark::State& state) {
+  const ModelConfig model = MixtralConfig();
+  const ExpertMapStore store = FilledStore(model, static_cast<size_t>(state.range(0)), 72);
+  Rng rng(13);
+  std::vector<std::vector<double>> layers(static_cast<size_t>(model.num_layers));
+  for (auto& probs : layers) {
+    probs.resize(static_cast<size_t>(model.experts_per_layer));
+    for (double& v : probs) {
+      v = rng.NextDouble();
+    }
+    NormalizeInPlace(probs);
+  }
+  TrajectorySearchSession session(&store);
+  for (auto _ : state) {
+    session.Reset();
+    for (int l = 0; l < model.num_layers; ++l) {
+      session.ObserveLayer(layers[static_cast<size_t>(l)]);
+      if (l % 4 == 0) {
+        benchmark::DoNotOptimize(session.CurrentBest());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrajectorySearchIncremental)->Arg(512)->Arg(4096);
+
+// Dedup insert: one batched RDY pass (trajectory + semantic cosines) over the full store.
+void BM_InsertDedupSoA(benchmark::State& state) {
+  const ModelConfig model = MixtralConfig();
+  ExpertMapStore store = FilledStore(model, static_cast<size_t>(state.range(0)), 72);
   Rng rng(17);
   for (auto _ : state) {
     store.Insert(RandomRecord(model, rng, 72));
   }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_StoreDedupInsert);
+BENCHMARK(BM_InsertDedupSoA)->Arg(512)->Arg(4096);
 
 void BM_SelectExperts(benchmark::State& state) {
   Rng rng(19);

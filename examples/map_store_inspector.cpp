@@ -1,6 +1,6 @@
 // Data-structure walkthrough: build expert maps by hand, fill an Expert Map Store, and watch
-// the two searches (semantic, trajectory) and the RDY deduplication behave — the §4.1-§4.4
-// machinery in isolation, without a serving engine.
+// the two searches (semantic, trajectory), the incremental trajectory session, and the RDY
+// deduplication behave — the §4.1-§4.4 machinery in isolation, without a serving engine.
 //
 //   ./build/examples/map_store_inspector
 #include <iostream>
@@ -56,6 +56,29 @@ int main() {
     matcher.ObserveLayer(layer, gate.Distribution(fresh, 1, layer));
   }
   std::cout << "trajectory search after 4 layers: score " << matcher.trajectory_score() << "\n";
+
+  // The same search, driven by hand through the incremental engine. The store keeps every map
+  // in a layer-major float matrix with precomputed prefix norms, so each ObserveLayer extends
+  // one running dot product per record (2·J·N flops) instead of rescanning the whole prefix.
+  fmoe::TrajectorySearchSession session(&store);
+  session.Reset();
+  uint64_t incremental_flops = 0;
+  uint64_t recomputed_flops = 0;
+  for (int layer = 0; layer < 4; ++layer) {
+    incremental_flops += session.ObserveLayer(gate.Distribution(fresh, 1, layer));
+    recomputed_flops += store.size() * 2ULL *
+                        static_cast<uint64_t>((layer + 1) * model.experts_per_layer);
+  }
+  fmoe::SearchResult best = session.CurrentBest();
+  incremental_flops += best.flops;
+  std::cout << "incremental session after " << session.observed_layers()
+            << " layers: matched request " << store.Get(best.index).request_id << " (score "
+            << best.score << ") for " << incremental_flops
+            << " flops; per-layer recomputation would have cost " << recomputed_flops << "\n";
+  std::cout << "search index: " << store.size() << " rows x " << store.map_dim()
+            << " floats, layer-major; record 0 full-map norm "
+            << store.PrefixNorm(0, model.num_layers) << ", embedding norm "
+            << store.EmbeddingNorm(0) << " (precomputed at insert)\n";
 
   // Turn the matched guidance for layer 7 (= 4 + distance 3) into a prefetch plan.
   const fmoe::Guidance guidance = matcher.GuidanceFor(7);

@@ -6,15 +6,17 @@ namespace fmoe {
 
 HybridMatcher::HybridMatcher(const ExpertMapStore* store, const ModelConfig& model,
                              int prefetch_distance, const MatcherOptions& options)
-    : store_(store), model_(model), prefetch_distance_(prefetch_distance), options_(options) {
+    : store_(store),
+      model_(model),
+      prefetch_distance_(prefetch_distance),
+      options_(options),
+      session_(store) {
   FMOE_CHECK(store != nullptr);
   FMOE_CHECK(options.rematch_interval >= 1);
-  prefix_.reserve(static_cast<size_t>(model.num_layers) *
-                  static_cast<size_t>(model.experts_per_layer));
 }
 
 void HybridMatcher::BeginIteration(std::span<const double> embedding) {
-  prefix_.clear();
+  session_.Reset();
   observed_layers_ = 0;
   last_match_prefix_ = 0;
   semantic_ = SearchResult{};
@@ -28,16 +30,17 @@ void HybridMatcher::BeginIteration(std::span<const double> embedding) {
 void HybridMatcher::ObserveLayer(int layer, std::span<const double> probs) {
   FMOE_CHECK_MSG(layer == observed_layers_, "layers must be observed in order; got "
                                                 << layer << " expected " << observed_layers_);
-  prefix_.insert(prefix_.end(), probs.begin(), probs.end());
   ++observed_layers_;
   if (!options_.use_trajectory) {
     return;
   }
-  // Re-match when the prefix has grown by the cadence (and at the first opportunity).
+  // Every observation extends the session's running dots by one layer (cheap, incremental);
+  // the argmax itself is only read on cadence (and at the first opportunity).
+  pending_flops_ += session_.ObserveLayer(probs);
   const bool first_match = last_match_prefix_ == 0;
   const bool cadence_due = observed_layers_ - last_match_prefix_ >= options_.rematch_interval;
   if (first_match || cadence_due) {
-    const SearchResult result = store_->TrajectorySearch(prefix_, observed_layers_);
+    const SearchResult result = session_.CurrentBest();
     pending_flops_ += result.flops;
     if (result.found) {
       trajectory_ = result;

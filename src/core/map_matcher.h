@@ -3,9 +3,10 @@
 // Per-iteration state machine combining the two searches:
 //   * BeginIteration runs the semantic search on the iteration embedding; its matched map
 //     guides prefetching for the first d layers (no trajectory observed yet).
-//   * ObserveLayer appends the gate output to the running trajectory prefix and (on a
-//     configurable cadence — the matcher runs asynchronously and cannot re-match every layer)
-//     re-runs the trajectory search; the matched map guides layer l + d.
+//   * ObserveLayer feeds the gate output to an incremental TrajectorySearchSession (which
+//     extends per-record running dot products by just the new layer) and, on a configurable
+//     cadence — the matcher runs asynchronously and cannot re-match every layer — reads the
+//     session's current best match; the matched map guides layer l + d.
 // GuidanceFor(target) returns the appropriate matched distribution and its similarity score,
 // which the prefetcher turns into the dynamic selection threshold δ.
 #ifndef FMOE_SRC_CORE_MAP_MATCHER_H_
@@ -52,6 +53,8 @@ class HybridMatcher {
   bool trajectory_found() const { return trajectory_.found; }
 
   // Search work (flops) performed since the last call; feeds the async-overhead model.
+  // Trajectory work is charged incrementally: 2·J·N per observed layer (the session's dot
+  // extension) plus 3·N per rematch (score normalization), not a recomputed-prefix scan.
   uint64_t ConsumeSearchFlops();
 
  private:
@@ -62,7 +65,7 @@ class HybridMatcher {
 
   SearchResult semantic_;
   SearchResult trajectory_;
-  std::vector<double> prefix_;   // Flattened observed trajectory of this iteration.
+  TrajectorySearchSession session_;  // Incremental trajectory state of this iteration.
   int observed_layers_ = 0;
   int last_match_prefix_ = 0;
   uint64_t pending_flops_ = 0;

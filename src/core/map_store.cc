@@ -1,18 +1,74 @@
 #include "src/core/map_store.h"
 
 #include <algorithm>
+#include <cmath>
+#include <thread>
 
 #include "src/util/logging.h"
 #include "src/util/math.h"
 
 namespace fmoe {
+namespace {
+
+// Partitions [0, count) into contiguous chunks and runs `fn(begin, end)` on each, using up to
+// `threads` std::threads. Chunks are fixed by count/threads alone, and callers reduce the
+// per-row outputs in row order afterwards, so the result is independent of scheduling.
+template <typename Fn>
+void RunPartitioned(size_t count, int threads, Fn&& fn) {
+  constexpr size_t kMinRowsPerThread = 512;
+  const size_t max_workers = count / kMinRowsPerThread;
+  const size_t workers = std::min<size_t>(static_cast<size_t>(threads), max_workers);
+  if (workers <= 1) {
+    fn(size_t{0}, count);
+    return;
+  }
+  const size_t chunk = (count + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t begin = w * chunk;
+    const size_t end = std::min(count, begin + chunk);
+    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+void UpdateBest(SearchResult* best, size_t index, double score) {
+  if (!best->found || score > best->score) {  // Strict >: lowest index wins ties.
+    best->found = true;
+    best->index = index;
+    best->score = score;
+  }
+}
+
+std::vector<float> ToFloat(std::span<const double> values) {
+  std::vector<float> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = static_cast<float>(values[i]);
+  }
+  return out;
+}
+
+}  // namespace
 
 ExpertMapStore::ExpertMapStore(const ModelConfig& model, size_t capacity, int prefetch_distance,
                                StoreDedupPolicy dedup)
-    : model_(model), capacity_(capacity), prefetch_distance_(prefetch_distance), dedup_(dedup) {
+    : model_(model),
+      capacity_(capacity),
+      prefetch_distance_(prefetch_distance),
+      dedup_(dedup),
+      map_dim_(model.num_layers * model.experts_per_layer) {
   FMOE_CHECK(capacity > 0);
   FMOE_CHECK(prefetch_distance >= 0 && prefetch_distance <= model.num_layers);
   records_.reserve(capacity);
+  // The column matrix has a fixed stride of `capacity` floats, so it is sized once up front;
+  // slots past size() are never read (every scan is bounded by size()).
+  map_cols_.resize(capacity * static_cast<size_t>(map_dim_), 0.0f);
+  map_rows_.reserve(capacity * static_cast<size_t>(map_dim_));
+  prefix_sqnorms_.reserve(capacity * static_cast<size_t>(model.num_layers + 1));
+  inv_prefix_norms_.reserve(capacity * static_cast<size_t>(model.num_layers + 1));
 }
 
 const StoredIteration& ExpertMapStore::Get(size_t index) const {
@@ -20,55 +76,201 @@ const StoredIteration& ExpertMapStore::Get(size_t index) const {
   return records_[index];
 }
 
-double ExpertMapStore::RedundancyScore(const StoredIteration& a, const StoredIteration& b) const {
-  const double L = static_cast<double>(model_.num_layers);
-  const double d = static_cast<double>(prefetch_distance_);
-  const double semantic = CosineSimilarity(a.embedding, b.embedding);
-  const double trajectory = CosineSimilarity(a.map.Flat(), b.map.Flat());
-  return (d / L) * semantic + ((L - d) / L) * trajectory;
+std::span<const float> ExpertMapStore::MapRow(size_t index) const {
+  FMOE_CHECK(index < records_.size());
+  return std::span<const float>(map_rows_.data() + index * static_cast<size_t>(map_dim_),
+                                static_cast<size_t>(map_dim_));
+}
+
+std::span<const float> ExpertMapStore::EmbeddingRow(size_t index) const {
+  FMOE_CHECK(index < records_.size());
+  return std::span<const float>(emb_rows_.data() + index * emb_stride_, emb_dims_[index]);
+}
+
+size_t ExpertMapStore::EmbeddingDim(size_t index) const {
+  FMOE_CHECK(index < records_.size());
+  return emb_dims_[index];
+}
+
+double ExpertMapStore::EmbeddingNorm(size_t index) const {
+  FMOE_CHECK(index < records_.size());
+  return emb_norms_[index];
+}
+
+double ExpertMapStore::PrefixNorm(size_t index, int prefix_layers) const {
+  FMOE_CHECK(index < records_.size());
+  FMOE_CHECK(prefix_layers >= 0 && prefix_layers <= model_.num_layers);
+  return std::sqrt(
+      prefix_sqnorms_[index * static_cast<size_t>(model_.num_layers + 1) +
+                      static_cast<size_t>(prefix_layers)]);
+}
+
+void ExpertMapStore::set_search_threads(int threads) {
+  FMOE_CHECK(threads >= 1);
+  search_threads_ = threads;
+}
+
+void ExpertMapStore::GrowEmbeddingStride(size_t dim) {
+  if (dim <= emb_stride_) {
+    return;
+  }
+  std::vector<float> repacked(records_.size() * dim, 0.0f);
+  for (size_t i = 0; i < records_.size(); ++i) {
+    std::copy_n(emb_rows_.data() + i * emb_stride_, emb_dims_[i], repacked.data() + i * dim);
+  }
+  emb_rows_ = std::move(repacked);
+  emb_stride_ = dim;
+}
+
+void ExpertMapStore::IndexRecord(size_t slot) {
+  const StoredIteration& record = records_[slot];
+  const std::span<const double> flat = record.map.Flat();
+  FMOE_CHECK_MSG(flat.empty() || flat.size() == static_cast<size_t>(map_dim_),
+                 "map shape mismatch: record has " << flat.size() << " values, store expects "
+                                                   << map_dim_);
+
+  // Map row (empty maps index as all-zero rows and never match anything), scattered into the
+  // layer-major column matrix as well: column k of record `slot` lives at k·capacity + slot.
+  float* row = map_rows_.data() + slot * static_cast<size_t>(map_dim_);
+  for (int k = 0; k < map_dim_; ++k) {
+    const float v = flat.empty() ? 0.0f : static_cast<float>(flat[static_cast<size_t>(k)]);
+    row[k] = v;
+    map_cols_[static_cast<size_t>(k) * capacity_ + slot] = v;
+  }
+
+  // Running prefix squared norms over the float row (entry l = ‖layers [0, l)‖²) and their
+  // inverses, with 0 standing in for 1/0 so scan-time scoring is a branch-free multiply.
+  const int J = model_.experts_per_layer;
+  double* sq = prefix_sqnorms_.data() + slot * static_cast<size_t>(model_.num_layers + 1);
+  double* inv = inv_prefix_norms_.data() + slot * static_cast<size_t>(model_.num_layers + 1);
+  sq[0] = 0.0;
+  inv[0] = 0.0;
+  for (int l = 0; l < model_.num_layers; ++l) {
+    const std::span<const float> layer(row + static_cast<size_t>(l) * static_cast<size_t>(J),
+                                       static_cast<size_t>(J));
+    sq[l + 1] = sq[l] + DotF(layer, layer);
+    inv[l + 1] = sq[l + 1] == 0.0 ? 0.0 : 1.0 / std::sqrt(sq[l + 1]);
+  }
+
+  // Embedding row + norm.
+  const size_t dim = record.embedding.size();
+  GrowEmbeddingStride(dim);
+  emb_dims_[slot] = dim;
+  float* erow = emb_rows_.data() + slot * emb_stride_;
+  std::fill_n(erow, emb_stride_, 0.0f);
+  for (size_t k = 0; k < dim; ++k) {
+    erow[k] = static_cast<float>(record.embedding[k]);
+  }
+  emb_norms_[slot] =
+      std::sqrt(DotF(std::span<const float>(erow, dim), std::span<const float>(erow, dim)));
+  inv_emb_norms_[slot] = emb_norms_[slot] == 0.0 ? 0.0 : 1.0 / emb_norms_[slot];
 }
 
 uint64_t ExpertMapStore::Insert(StoredIteration record) {
+  ++generation_;
   if (records_.size() < capacity_) {
     records_.push_back(std::move(record));
+    map_rows_.resize(records_.size() * static_cast<size_t>(map_dim_));
+    emb_rows_.resize(records_.size() * emb_stride_, 0.0f);
+    emb_dims_.push_back(0);
+    emb_norms_.push_back(0.0);
+    inv_emb_norms_.push_back(0.0);
+    prefix_sqnorms_.resize(records_.size() * static_cast<size_t>(model_.num_layers + 1));
+    inv_prefix_norms_.resize(records_.size() * static_cast<size_t>(model_.num_layers + 1));
+    IndexRecord(records_.size() - 1);
     return 0;
   }
   if (dedup_ == StoreDedupPolicy::kFifo) {
     records_[next_fifo_slot_] = std::move(record);
+    IndexRecord(next_fifo_slot_);
     next_fifo_slot_ = (next_fifo_slot_ + 1) % capacity_;
     return 0;
   }
-  // At capacity: replace the stored record most redundant with the incoming one.
+
+  // At capacity: one batched RDY pass to find the stored record most redundant with the
+  // incoming one. RDY = (d/L)·cos_sem + ((L−d)/L)·cos_traj; embedding-dimension mismatches
+  // contribute a semantic term of 0 (and are not charged).
+  const size_t n = records_.size();
+  const std::vector<float> map_query = ToFloat(record.map.Flat());
+  const double map_qnorm = std::sqrt(DotF(map_query, map_query));
+  const double inv_map_qnorm = map_qnorm == 0.0 ? 0.0 : 1.0 / map_qnorm;
+  const size_t norm_stride = static_cast<size_t>(model_.num_layers + 1);
+  const size_t full = static_cast<size_t>(model_.num_layers);
+  std::vector<double> trajectory(n, 0.0);
+  RunPartitioned(n, search_threads_, [&](size_t begin, size_t end) {
+    AccumulateColumns(map_query, map_cols_.data() + begin, capacity_, end - begin,
+                      trajectory.data() + begin);
+    for (size_t i = begin; i < end; ++i) {
+      trajectory[i] *= inv_map_qnorm * inv_prefix_norms_[i * norm_stride + full];
+    }
+  });
+
+  const std::vector<float> emb_query = ToFloat(record.embedding);
+  const double emb_qnorm = std::sqrt(DotF(emb_query, emb_query));
+  const double inv_emb_qnorm = emb_qnorm == 0.0 ? 0.0 : 1.0 / emb_qnorm;
+  std::vector<double> semantic(n, 0.0);
+  uint64_t compared = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (emb_dims_[i] != emb_query.size()) {
+      continue;
+    }
+    ++compared;
+    semantic[i] = DotF(emb_query, EmbeddingRow(i)) * inv_emb_qnorm * inv_emb_norms_[i];
+  }
+
+  const double L = static_cast<double>(model_.num_layers);
+  const double d = static_cast<double>(prefetch_distance_);
   size_t most_redundant = 0;
   double best_score = -2.0;
-  for (size_t i = 0; i < records_.size(); ++i) {
-    const double score = RedundancyScore(record, records_[i]);
+  for (size_t i = 0; i < n; ++i) {
+    const double score = (d / L) * semantic[i] + ((L - d) / L) * trajectory[i];
     if (score > best_score) {
       best_score = score;
       most_redundant = i;
     }
   }
-  const uint64_t flops =
-      records_.size() *
-      2ULL * (record.map.Flat().size() + record.embedding.size());
+  const uint64_t flops = n * 2ULL * static_cast<uint64_t>(map_dim_) +
+                         compared * 2ULL * record.embedding.size();
   records_[most_redundant] = std::move(record);
+  IndexRecord(most_redundant);
   return flops;
 }
 
 SearchResult ExpertMapStore::SemanticSearch(std::span<const double> embedding) const {
   SearchResult result;
-  for (size_t i = 0; i < records_.size(); ++i) {
-    if (records_[i].embedding.size() != embedding.size()) {
-      continue;
+  const size_t n = records_.size();
+  if (n == 0) {
+    return result;
+  }
+  const std::vector<float> query = ToFloat(embedding);
+  const double qnorm = std::sqrt(DotF(query, query));
+  const double inv_qnorm = qnorm == 0.0 ? 0.0 : 1.0 / qnorm;
+
+  // Fast path: every record matches the query dimension — one batched strided pass.
+  const bool uniform =
+      std::all_of(emb_dims_.begin(), emb_dims_.end(),
+                  [&](size_t dim) { return dim == query.size(); });
+  std::vector<double> scores(n, 0.0);
+  uint64_t compared = 0;
+  if (uniform) {
+    compared = n;
+    RunPartitioned(n, search_threads_, [&](size_t begin, size_t end) {
+      CosineAgainstRows(query, inv_qnorm, emb_rows_.data() + begin * emb_stride_, emb_stride_,
+                        end - begin, inv_emb_norms_.data() + begin, scores.data() + begin);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      UpdateBest(&result, i, scores[i]);
     }
-    const double score = CosineSimilarity(embedding, records_[i].embedding);
-    if (!result.found || score > result.score) {
-      result.found = true;
-      result.index = i;
-      result.score = score;
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (emb_dims_[i] != query.size()) {
+        continue;  // Skipped records are not compared and not charged.
+      }
+      ++compared;
+      UpdateBest(&result, i, DotF(query, EmbeddingRow(i)) * inv_qnorm * inv_emb_norms_[i]);
     }
   }
-  result.flops = records_.size() * 2ULL * embedding.size();
+  result.flops = compared * 2ULL * embedding.size();
   return result;
 }
 
@@ -77,33 +279,144 @@ SearchResult ExpertMapStore::TrajectorySearch(std::span<const double> prefix,
   FMOE_CHECK(prefix.size() == static_cast<size_t>(prefix_layers) *
                                   static_cast<size_t>(model_.experts_per_layer));
   SearchResult result;
-  for (size_t i = 0; i < records_.size(); ++i) {
-    const std::span<const double> candidate = records_[i].map.Prefix(prefix_layers);
-    const double score = CosineSimilarity(prefix, candidate);
-    if (!result.found || score > result.score) {
-      result.found = true;
-      result.index = i;
-      result.score = score;
-    }
+  const size_t n = records_.size();
+  if (n == 0) {
+    return result;
   }
-  result.flops = records_.size() * 2ULL * prefix.size();
+  const std::vector<float> query = ToFloat(prefix);
+  const double qnorm = std::sqrt(DotF(query, query));
+  const double inv_qnorm = qnorm == 0.0 ? 0.0 : 1.0 / qnorm;
+  const size_t norm_stride = static_cast<size_t>(model_.num_layers + 1);
+  std::vector<double> scores(n, 0.0);
+  RunPartitioned(n, search_threads_, [&](size_t begin, size_t end) {
+    // The prefix touches columns [0, prefix_layers·J) of the layer-major matrix — one fully
+    // sequential streaming pass, independent of the full map width.
+    AccumulateColumns(query, map_cols_.data() + begin, capacity_, end - begin,
+                      scores.data() + begin);
+    for (size_t i = begin; i < end; ++i) {
+      scores[i] *= inv_qnorm *
+                   inv_prefix_norms_[i * norm_stride + static_cast<size_t>(prefix_layers)];
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    UpdateBest(&result, i, scores[i]);
+  }
+  result.flops = n * 2ULL * prefix.size();
   return result;
 }
 
 size_t ExpertMapStore::MemoryBytes() const {
   size_t bytes = 0;
-  for (const StoredIteration& record : records_) {
-    bytes += record.map.StorageBytes() + record.embedding.size() * sizeof(float);
+  for (size_t i = 0; i < records_.size(); ++i) {
+    bytes += static_cast<size_t>(map_dim_) * sizeof(float) + emb_dims_[i] * sizeof(float);
   }
   return bytes;
 }
 
 size_t ExpertMapStore::MemoryBytesAtCapacity(int embedding_dim) const {
   const size_t per_record =
-      static_cast<size_t>(model_.num_layers) * static_cast<size_t>(model_.experts_per_layer) *
-          sizeof(float) +
+      static_cast<size_t>(map_dim_) * sizeof(float) +
       static_cast<size_t>(embedding_dim) * sizeof(float);
   return capacity_ * per_record;
+}
+
+void ExpertMapStore::Clear() {
+  ++generation_;
+  records_.clear();
+  // map_cols_ keeps its fixed capacity-stride allocation; stale slots are never read because
+  // every scan is bounded by size().
+  map_rows_.clear();
+  emb_rows_.clear();
+  emb_stride_ = 0;
+  emb_dims_.clear();
+  emb_norms_.clear();
+  inv_emb_norms_.clear();
+  prefix_sqnorms_.clear();
+  inv_prefix_norms_.clear();
+  next_fifo_slot_ = 0;
+}
+
+// ---- TrajectorySearchSession ----
+
+TrajectorySearchSession::TrajectorySearchSession(const ExpertMapStore* store) : store_(store) {
+  FMOE_CHECK(store != nullptr);
+  prefix_.reserve(static_cast<size_t>(store->map_dim()));
+  Reset();
+}
+
+void TrajectorySearchSession::Reset() {
+  observed_layers_ = 0;
+  prefix_.clear();
+  prefix_sqnorm_ = 0.0;
+  generation_ = store_->generation();
+  dots_.assign(store_->size(), 0.0);
+}
+
+bool TrajectorySearchSession::IsStale() const {
+  return generation_ != store_->generation();
+}
+
+uint64_t TrajectorySearchSession::Rebuild() {
+  const size_t n = store_->size();
+  dots_.assign(n, 0.0);
+  generation_ = store_->generation();
+  if (n == 0 || prefix_.empty()) {
+    return 0;
+  }
+  AccumulateColumns(prefix_, store_->map_cols_data(), store_->capacity(), n, dots_.data());
+  return n * 2ULL * prefix_.size();
+}
+
+uint64_t TrajectorySearchSession::ObserveLayer(std::span<const double> probs) {
+  const int J = store_->model().experts_per_layer;
+  FMOE_CHECK_MSG(probs.size() == static_cast<size_t>(J),
+                 "gate distribution has " << probs.size() << " entries, expected " << J);
+  FMOE_CHECK(observed_layers_ < store_->model().num_layers);
+  const size_t offset = prefix_.size();
+  prefix_.resize(offset + static_cast<size_t>(J));
+  for (int j = 0; j < J; ++j) {
+    prefix_[offset + static_cast<size_t>(j)] = static_cast<float>(probs[static_cast<size_t>(j)]);
+  }
+  const std::span<const float> block(prefix_.data() + offset, static_cast<size_t>(J));
+  prefix_sqnorm_ += DotF(block, block);
+  ++observed_layers_;
+
+  if (IsStale()) {
+    return Rebuild();
+  }
+  const size_t n = store_->size();
+  if (n == 0) {
+    return 0;
+  }
+  // Extend each record's running dot by only the newly observed layer: the layer's J values
+  // occupy columns [offset, offset + J) of the layer-major matrix, so this is J contiguous
+  // sequential column passes — a few microseconds even at a 4096-record store.
+  AccumulateColumns(block, store_->map_cols_data() + offset * store_->capacity(),
+                    store_->capacity(), n, dots_.data());
+  return n * 2ULL * static_cast<uint64_t>(J);
+}
+
+SearchResult TrajectorySearchSession::CurrentBest() {
+  SearchResult result;
+  uint64_t flops = 0;
+  if (IsStale()) {
+    flops = Rebuild();
+  }
+  const size_t n = store_->size();
+  if (n == 0 || observed_layers_ == 0) {
+    result.flops = flops;
+    return result;
+  }
+  const double qnorm = std::sqrt(prefix_sqnorm_);
+  const double inv_qnorm = qnorm == 0.0 ? 0.0 : 1.0 / qnorm;
+  const size_t norm_stride = static_cast<size_t>(store_->model().num_layers + 1);
+  const double* inv_norms = store_->inv_prefix_norms_data();
+  for (size_t i = 0; i < n; ++i) {
+    const double inv = inv_norms[i * norm_stride + static_cast<size_t>(observed_layers_)];
+    UpdateBest(&result, i, dots_[i] * inv_qnorm * inv);
+  }
+  result.flops = flops + 3ULL * n;  // Norm product, scale, compare per record.
+  return result;
 }
 
 }  // namespace fmoe

@@ -1,10 +1,44 @@
-// Expert Map Store (§3.2, §4.4).
+// Expert Map Store (§3.2, §4.4) and its search engine.
 //
 // Capacity-bounded store of historical iteration records — each an expert map plus the
 // iteration's semantic embedding. Supports the two searches of §4.2 (semantic cosine over
 // embeddings, trajectory cosine over map prefixes) and, when full, deduplicates on insert by
 // the unified redundancy score RDY = (d/L)·score_sem + ((L−d)/L)·score_traj: the stored record
 // most redundant with the incoming one is replaced, keeping the store diverse.
+//
+// Search engine layout (SoA index). Alongside the record list the store maintains a
+// structure-of-arrays index that every search runs against:
+//   * map_cols_        — the trajectory search matrix, layer-expert-major: column (l·J + j)
+//                        holds map_i[l, j] for every record i, contiguously (column stride =
+//                        capacity). A trajectory query touches exactly the columns of its
+//                        observed layers, so both the one-shot prefix scan and the per-layer
+//                        incremental extension are perfectly sequential streaming passes —
+//                        row-major storage would read l·J useful floats per L·J-float row and
+//                        stall on strided loads.
+//   * map_rows_        — the same maps row-major (row i = record i's L·J floats), kept as the
+//                        materialized per-record view for persistence, inspection, and tests.
+//   * emb_rows_        — one flat row-major float matrix of embeddings (stride = largest
+//                        embedding dim seen; per-record true dims kept in emb_dims_).
+//   * emb_norms_ / inv_emb_norms_          — precomputed ‖embedding_i‖ and its inverse.
+//   * prefix_sqnorms_ / inv_prefix_norms_  — per record, the running squared norm of every map
+//                        prefix (entry (i, l) = ‖map_i[0..l)‖² for l = 0..L) and the inverse
+//                        norms 1/‖map_i[0..l)‖. Inverses store 0 for zero norms, so scoring is
+//                        a branch-free multiply that lands exactly on the zero-norm → 0 cosine
+//                        convention.
+// With inverse norms precomputed, a cosine is one batched dot product plus one multiply — no
+// sqrt or divide anywhere on the scan (AccumulateColumns / DotBatched / CosineAgainstRows in
+// src/util/math.h). Optional search_threads > 1 partitions the rows across threads; per-row
+// arithmetic is partition-independent and the argmax reduction is performed in row order
+// afterwards, so results (including lowest-index tie-breaks) are bit-identical to the
+// single-threaded scan.
+//
+// Incremental trajectory search. HybridMatcher re-matches a *growing* prefix; recomputing the
+// cosine from scratch is O(l·J·N) per rematch, O(L²·J·N) per iteration. TrajectorySearchSession
+// instead keeps one running dot product per record and extends it by only the newly observed
+// layer — O(J·N) per ObserveLayer, O(L·J·N) per iteration — and consults the precomputed
+// prefix norms at rematch time. Sessions watch the store's generation counter: any insert or
+// clear invalidates the cached dots and the next call transparently rebuilds them (charging
+// the full rebuild work to its flops).
 #ifndef FMOE_SRC_CORE_MAP_STORE_H_
 #define FMOE_SRC_CORE_MAP_STORE_H_
 
@@ -53,10 +87,12 @@ class ExpertMapStore {
   // Returns the work performed (0 flops while filling, one full RDY pass when deduplicating).
   uint64_t Insert(StoredIteration record);
 
-  // Highest-cosine record by iteration embedding (Eq. 4).
+  // Highest-cosine record by iteration embedding (Eq. 4). Records whose embedding dimension
+  // differs from the query are skipped and not charged.
   SearchResult SemanticSearch(std::span<const double> embedding) const;
 
-  // Highest-cosine record by trajectory prefix of `prefix_layers` layers (Eq. 5).
+  // Highest-cosine record by trajectory prefix of `prefix_layers` layers (Eq. 5). One-shot
+  // form; use TrajectorySearchSession for the per-layer incremental path.
   SearchResult TrajectorySearch(std::span<const double> prefix, int prefix_layers) const;
 
   // fp32-equivalent CPU memory footprint of everything stored (Fig. 16).
@@ -64,20 +100,103 @@ class ExpertMapStore {
   // Footprint the store would have at full capacity (for sizing tables).
   size_t MemoryBytesAtCapacity(int embedding_dim) const;
 
-  void Clear() {
-    records_.clear();
-    next_fifo_slot_ = 0;
-  }
+  void Clear();
+
+  // ---- SoA search-engine views ----
+
+  // Flattened map row of record i (L·J floats; layer l occupies [l·J, (l+1)·J)).
+  std::span<const float> MapRow(size_t index) const;
+  // Base pointer of the row-major map matrix (row stride = map_dim()); null when empty.
+  const float* map_rows_data() const { return map_rows_.data(); }
+  // Base pointer of the layer-expert-major search matrix: column k = l·J + j holds map_i[l, j]
+  // for records i = 0..size(), with capacity() floats between consecutive columns.
+  const float* map_cols_data() const { return map_cols_.data(); }
+  // Row length of the map matrix: num_layers · experts_per_layer.
+  int map_dim() const { return map_dim_; }
+  // Precomputed 1/‖map_i[0..l)‖ lookup table, stride num_layers + 1 per record; entry (i, l)
+  // is 0 when the prefix has zero norm.
+  const double* inv_prefix_norms_data() const { return inv_prefix_norms_.data(); }
+  // Embedding row of record i (exactly the record's embedding dimension).
+  std::span<const float> EmbeddingRow(size_t index) const;
+  size_t EmbeddingDim(size_t index) const;
+  double EmbeddingNorm(size_t index) const;
+  // ‖map_i[0 .. prefix_layers)‖ from the precomputed running squared norms.
+  double PrefixNorm(size_t index, int prefix_layers) const;
+
+  // Bumped on every mutation (insert, replace, clear); lets sessions detect staleness.
+  uint64_t generation() const { return generation_; }
+
+  // Number of threads full-store scans may use (default 1). The reduction is deterministic:
+  // any thread count returns bit-identical results, ties broken toward the lowest index.
+  void set_search_threads(int threads);
+  int search_threads() const { return search_threads_; }
 
  private:
-  double RedundancyScore(const StoredIteration& a, const StoredIteration& b) const;
+  // Rebuilds the SoA row, norms, and prefix norms for records_[slot].
+  void IndexRecord(size_t slot);
+  // Widens the embedding matrix stride to at least `dim`, repacking existing rows.
+  void GrowEmbeddingStride(size_t dim);
 
   ModelConfig model_;
   size_t capacity_;
   int prefetch_distance_;
   StoreDedupPolicy dedup_;
   size_t next_fifo_slot_ = 0;
-  std::vector<StoredIteration> records_;
+  int map_dim_ = 0;  // num_layers * experts_per_layer.
+  int search_threads_ = 1;
+  uint64_t generation_ = 0;
+
+  std::vector<StoredIteration> records_;  // Record data + metadata (Get / persistence).
+
+  // SoA search index; see the layout comment at the top of this header.
+  std::vector<float> map_cols_;         // map_dim_ columns x capacity_ (layer-expert-major).
+  std::vector<float> map_rows_;         // size() x map_dim_ (row-major view).
+  std::vector<float> emb_rows_;         // size() x emb_stride_ (zero-padded).
+  size_t emb_stride_ = 0;
+  std::vector<size_t> emb_dims_;
+  std::vector<double> emb_norms_;
+  std::vector<double> inv_emb_norms_;
+  std::vector<double> prefix_sqnorms_;    // size() x (num_layers + 1), cumulative.
+  std::vector<double> inv_prefix_norms_;  // size() x (num_layers + 1); 0 for zero norms.
+};
+
+// Stateful incremental trajectory search (§4.2) over a growing prefix.
+//
+// One session serves one inference iteration: Reset() at iteration start, ObserveLayer() per
+// gate output (extends the running per-record dot products by the new layer), CurrentBest()
+// whenever the matcher re-matches. Each call returns/reports the flops it actually performed,
+// so the async-overhead model (Fig. 15) is charged for incremental — not recomputed — work.
+// The session tolerates concurrent store mutation (other batch slots inserting records):
+// a generation mismatch triggers a transparent full rebuild of the cached dots.
+class TrajectorySearchSession {
+ public:
+  explicit TrajectorySearchSession(const ExpertMapStore* store);
+
+  // Forgets the observed prefix and re-syncs with the store; call at iteration start.
+  void Reset();
+
+  // Extends the observed trajectory by one layer's gate distribution (J values). Returns the
+  // flops performed: 2·J per record to extend the running dots (or a full-prefix rebuild when
+  // the store changed underneath the session).
+  uint64_t ObserveLayer(std::span<const double> probs);
+
+  // Best-cosine record over the currently observed prefix. `flops` covers the score
+  // normalization (3 per record) plus any rebuild this call had to perform.
+  SearchResult CurrentBest();
+
+  int observed_layers() const { return observed_layers_; }
+
+ private:
+  bool IsStale() const;
+  // Recomputes all running dots over the full observed prefix; returns the flops spent.
+  uint64_t Rebuild();
+
+  const ExpertMapStore* store_;  // Not owned.
+  uint64_t generation_ = 0;
+  int observed_layers_ = 0;
+  std::vector<float> prefix_;    // Observed prefix, float-quantized like the stored rows.
+  double prefix_sqnorm_ = 0.0;
+  std::vector<double> dots_;     // Running dot(prefix, map row) per record.
 };
 
 }  // namespace fmoe

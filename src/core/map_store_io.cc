@@ -36,10 +36,11 @@ bool ReadPod(std::istream& in, T* value) {
   return static_cast<bool>(in);
 }
 
-bool WriteFloats(std::ostream& out, std::span<const double> values) {
-  std::vector<float> buffer(values.begin(), values.end());
-  out.write(reinterpret_cast<const char*>(buffer.data()),
-            static_cast<std::streamsize>(buffer.size() * sizeof(float)));
+// The store's SoA index already holds maps and embeddings as contiguous float rows — exactly
+// the on-disk record layout — so serialization is a raw write, no conversion buffer.
+bool WriteFloats(std::ostream& out, std::span<const float> values) {
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(float)));
   return static_cast<bool>(out);
 }
 
@@ -63,12 +64,12 @@ StoreIoResult SaveStore(const ExpertMapStore& store, std::ostream& out) {
   header.num_layers = static_cast<uint32_t>(model.num_layers);
   header.experts_per_layer = static_cast<uint32_t>(model.experts_per_layer);
   header.embedding_dim =
-      store.size() > 0 ? static_cast<uint32_t>(store.Get(0).embedding.size()) : 0;
+      store.size() > 0 ? static_cast<uint32_t>(store.EmbeddingDim(0)) : 0;
   header.record_count = store.size();
 
   // All records must share the embedding dimension for a fixed record layout.
   for (size_t i = 0; i < store.size(); ++i) {
-    if (store.Get(i).embedding.size() != header.embedding_dim) {
+    if (store.EmbeddingDim(i) != header.embedding_dim) {
       return StoreIoResult::Failure("records have inconsistent embedding dimensions");
     }
   }
@@ -79,16 +80,14 @@ StoreIoResult SaveStore(const ExpertMapStore& store, std::ostream& out) {
   StoreIoResult result;
   result.bytes = sizeof(header);
   for (size_t i = 0; i < store.size(); ++i) {
-    const StoredIteration& record = store.Get(i);
-    const uint64_t request_id = record.request_id;
-    const int32_t iteration = record.iteration;
+    const uint64_t request_id = store.Get(i).request_id;
+    const int32_t iteration = store.Get(i).iteration;
     if (!WritePod(out, request_id) || !WritePod(out, iteration) ||
-        !WriteFloats(out, record.map.Flat()) || !WriteFloats(out, record.embedding)) {
+        !WriteFloats(out, store.MapRow(i)) || !WriteFloats(out, store.EmbeddingRow(i))) {
       return StoreIoResult::Failure("failed to write record " + std::to_string(i));
     }
     result.bytes += sizeof(request_id) + sizeof(iteration) +
-                    record.map.Flat().size() * sizeof(float) +
-                    record.embedding.size() * sizeof(float);
+                    (store.MapRow(i).size() + store.EmbeddingRow(i).size()) * sizeof(float);
     ++result.records;
   }
   return result;

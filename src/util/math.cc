@@ -27,6 +27,119 @@ double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
   return Dot(a, b) / (na * nb);
 }
 
+namespace {
+
+// Accurate inner loop: 4 independent double accumulators over float inputs. The accumulator
+// layout is fixed by the element index, never by how callers partition rows, which keeps
+// results bitwise deterministic.
+inline double DotRowAccurate(const float* a, const float* b, size_t n) {
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    acc1 += static_cast<double>(a[i + 1]) * static_cast<double>(b[i + 1]);
+    acc2 += static_cast<double>(a[i + 2]) * static_cast<double>(b[i + 2]);
+    acc3 += static_cast<double>(a[i + 3]) * static_cast<double>(b[i + 3]);
+  }
+  for (; i < n; ++i) {
+    acc0 += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+// Fast inner loop: 8 float accumulators over 64-element blocks, each block pairwise-reduced
+// and flushed into the double total. The longest float addition chain is 8 adds + a 3-level
+// pairwise reduce, so the rounding error stays O(eps) regardless of n, and the blocking is
+// fixed by the element index alone (deterministic across partitionings). The float arithmetic
+// autovectorizes at twice the width of the double version.
+inline double DotRowFast(const float* __restrict a, const float* __restrict b, size_t n) {
+  double total = 0.0;
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    float acc[8] = {};
+    for (size_t j = 0; j < 64; j += 8) {
+      for (int k = 0; k < 8; ++k) {
+        acc[k] += a[i + j + static_cast<size_t>(k)] * b[i + j + static_cast<size_t>(k)];
+      }
+    }
+    total += static_cast<double>(((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+                                 ((acc[4] + acc[5]) + (acc[6] + acc[7])));
+  }
+  if (i < n) {
+    float acc[8] = {};
+    for (; i + 8 <= n; i += 8) {
+      for (int k = 0; k < 8; ++k) {
+        acc[k] += a[i + static_cast<size_t>(k)] * b[i + static_cast<size_t>(k)];
+      }
+    }
+    total += static_cast<double>(((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+                                 ((acc[4] + acc[5]) + (acc[6] + acc[7])));
+    for (; i < n; ++i) {
+      total += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double DotF(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  return DotRowAccurate(a.data(), b.data(), a.size());
+}
+
+void DotBatched(std::span<const float> query, const float* rows, size_t row_stride,
+                size_t count, double* out, bool accumulate) {
+  assert(row_stride >= query.size());
+  const size_t dim = query.size();
+  for (size_t r = 0; r < count; ++r) {
+    const double dot = DotRowFast(query.data(), rows + r * row_stride, dim);
+    out[r] = accumulate ? out[r] + dot : dot;
+  }
+}
+
+void CosineAgainstRows(std::span<const float> query, double inv_query_norm, const float* rows,
+                       size_t row_stride, size_t count, const double* inv_row_norms,
+                       double* out) {
+  DotBatched(query, rows, row_stride, count, out, /*accumulate=*/false);
+  for (size_t r = 0; r < count; ++r) {
+    out[r] *= inv_query_norm * inv_row_norms[r];
+  }
+}
+
+void AccumulateColumns(std::span<const float> coeffs, const float* cols, size_t col_stride,
+                       size_t count, double* out) {
+  // Tile the output so the float accumulator tile and the double outputs stay in L1 while the
+  // column data streams through, and flush the tile into the doubles every kFlushCoeffs
+  // coefficients to bound the float addition chains. Both block sizes are compile-time
+  // constants, so per-element arithmetic — and therefore the result — is identical no matter
+  // how callers split [0, count) across threads.
+  constexpr size_t kTile = 2048;
+  constexpr size_t kFlushCoeffs = 16;
+  float tile[kTile];
+  for (size_t t0 = 0; t0 < count; t0 += kTile) {
+    const size_t tn = std::min(kTile, count - t0);
+    for (size_t k0 = 0; k0 < coeffs.size(); k0 += kFlushCoeffs) {
+      const size_t k_end = std::min(coeffs.size(), k0 + kFlushCoeffs);
+      std::fill_n(tile, tn, 0.0f);
+      for (size_t k = k0; k < k_end; ++k) {
+        const float* __restrict col = cols + k * col_stride + t0;
+        const float coeff = coeffs[k];
+        for (size_t i = 0; i < tn; ++i) {
+          tile[i] += coeff * col[i];
+        }
+      }
+      double* __restrict dst = out + t0;
+      for (size_t i = 0; i < tn; ++i) {
+        dst[i] += static_cast<double>(tile[i]);
+      }
+    }
+  }
+}
+
 void SoftmaxInPlace(std::vector<double>& logits, double temperature) {
   assert(temperature > 0.0);
   if (logits.empty()) {

@@ -1,8 +1,16 @@
 // Small dense-vector math kernels shared by the gate simulator and the expert-map machinery.
 //
-// All routines operate on std::span<const double> / std::vector<double>; fMoE's maps and
-// embeddings are small (J <= 96 experts, hidden sizes <= 256 in the simulator), so simple
-// scalar loops are plenty and keep the library dependency-free.
+// Two tiers live here. The double-precision span routines serve the gate simulator and other
+// cold paths (J <= 96 experts, hidden sizes <= 256 in the simulator). The float batch kernels
+// (DotBatched / CosineAgainstRows / AccumulateColumns) are the hot inner loops of the Expert
+// Map Store search engine: they stream one query against many rows (or columns) of a float
+// matrix. They accumulate in single precision over short fixed-size blocks and flush each
+// block total into a double accumulator — the float inner loops autovectorize at twice the
+// SIMD width of double ones, while the bounded chain length (<= 16 float adds between
+// flushes) keeps the worst-case rounding error well under the 1e-6 the store's equivalence
+// tests allow. Block boundaries depend only on the element index, never on how callers
+// partition the rows, so results are bitwise deterministic across search_threads settings.
+// Everything stays dependency-free.
 #ifndef FMOE_SRC_UTIL_MATH_H_
 #define FMOE_SRC_UTIL_MATH_H_
 
@@ -17,6 +25,35 @@ double Norm(std::span<const double> a);
 
 // Cosine similarity in [-1, 1]. Returns 0 when either vector has zero norm.
 double CosineSimilarity(std::span<const double> a, std::span<const double> b);
+
+// Single-precision dot product accumulated entirely in double (4-way unrolled) — the accurate
+// tier, used for norms and other once-per-insert quantities where error must not depend on
+// vector length.
+double DotF(std::span<const float> a, std::span<const float> b);
+
+// out[r] = dot(query, rows + r * row_stride) over query.size() elements, for r in [0, count).
+// `rows` is a row-major matrix with `row_stride` floats between consecutive rows
+// (row_stride >= query.size()). When `accumulate` is true the dots are added into `out`
+// instead of overwriting it. Blocked float accumulation (see the header comment).
+void DotBatched(std::span<const float> query, const float* rows, size_t row_stride,
+                size_t count, double* out, bool accumulate = false);
+
+// out[r] = cosine(query, row r) from precomputed *inverse* norms:
+// dot · inv_query_norm · inv_row_norms[r]. Callers store 0 as the inverse of a zero norm, so
+// zero-norm vectors score exactly 0 (the CosineSimilarity convention) with no branch or
+// divide in the loop.
+void CosineAgainstRows(std::span<const float> query, double inv_query_norm, const float* rows,
+                       size_t row_stride, size_t count, const double* inv_row_norms,
+                       double* out);
+
+// out[i] += Σ_k coeffs[k] · cols[k · col_stride + i] for i in [0, count): accumulate a linear
+// combination of matrix *columns* (column-major, `col_stride` floats between consecutive
+// columns). This is the Expert Map Store's trajectory kernel — with maps stored layer-major,
+// one observed gate distribution extends every record's running dot via J contiguous,
+// perfectly sequential column passes. Blocked float accumulation; per-element results are
+// independent of how callers tile or partition [0, count).
+void AccumulateColumns(std::span<const float> coeffs, const float* cols, size_t col_stride,
+                       size_t count, double* out);
 
 // In-place numerically-stable softmax with temperature (> 0). Lower temperature sharpens.
 void SoftmaxInPlace(std::vector<double>& logits, double temperature = 1.0);

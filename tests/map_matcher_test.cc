@@ -92,12 +92,39 @@ TEST_F(HybridMatcherTest, RematchCadenceLimitsSearches) {
   HybridMatcher matcher(&store_, Tiny(), 1, options);
   matcher.BeginIteration(std::vector<double>{1.0, 0.0});
   matcher.ConsumeSearchFlops();  // Drop the semantic search cost.
-  // First observation always triggers a trajectory match.
+  const uint64_t n = store_.size();
+  const uint64_t extend = n * 2 * static_cast<uint64_t>(Tiny().experts_per_layer);
+  const uint64_t finalize = 3 * n;
+  // First observation extends the running dots and triggers the first rematch.
   matcher.ObserveLayer(0, store_.Get(0).map.Layer(0));
-  EXPECT_GT(matcher.ConsumeSearchFlops(), 0u);
-  // Next observation is within the cadence: no new search.
+  EXPECT_EQ(matcher.ConsumeSearchFlops(), extend + finalize);
+  // Next observation is within the cadence: the incremental dot extension is charged, but no
+  // rematch happens — and in particular no recomputed-prefix scan.
   matcher.ObserveLayer(1, store_.Get(0).map.Layer(1));
-  EXPECT_EQ(matcher.ConsumeSearchFlops(), 0u);
+  EXPECT_EQ(matcher.ConsumeSearchFlops(), extend);
+}
+
+TEST_F(HybridMatcherTest, IncrementalFlopsPinnedForKnownCadence) {
+  // L=4, J=6, N=2, rematch every layer. Incremental accounting charges 2·J·N per observed
+  // layer plus 3·N per rematch; the recomputed-prefix accounting this replaced would have
+  // charged 2·J·N·(1+2+3+4) = 240 for the same cadence.
+  MatcherOptions options;
+  options.rematch_interval = 1;
+  HybridMatcher matcher(&store_, Tiny(), 1, options);
+  matcher.BeginIteration(std::vector<double>{1.0, 0.0});
+  matcher.ConsumeSearchFlops();  // Drop the semantic search cost.
+  const ModelConfig cfg = Tiny();
+  const uint64_t n = store_.size();
+  uint64_t total = 0;
+  for (int layer = 0; layer < cfg.num_layers; ++layer) {
+    matcher.ObserveLayer(layer, store_.Get(0).map.Layer(layer));
+    total += matcher.ConsumeSearchFlops();
+  }
+  const uint64_t per_layer = n * 2 * static_cast<uint64_t>(cfg.experts_per_layer);
+  const uint64_t per_rematch = 3 * n;
+  const uint64_t expected =
+      static_cast<uint64_t>(cfg.num_layers) * (per_layer + per_rematch);
+  EXPECT_EQ(total, expected);  // 4·(24 + 6) = 120, vs. 240 recomputed.
 }
 
 TEST_F(HybridMatcherTest, ConsumeSearchFlopsDrainsCounter) {

@@ -82,7 +82,9 @@ TEST(ExpertMapStoreTest, TrajectorySearchFindsMatchingPrefix) {
       store.TrajectorySearch(std::vector<double>(prefix.begin(), prefix.end()), 2);
   ASSERT_TRUE(result.found);
   EXPECT_EQ(store.Get(result.index).request_id, 2u);
-  EXPECT_NEAR(result.score, 1.0, 1e-9);
+  // The search engine quantizes to float and accumulates in float blocks; scores carry a few
+  // ulps of single-precision error (the engine-wide 1e-6 contract, see map_store_search_test).
+  EXPECT_NEAR(result.score, 1.0, 1e-6);
 }
 
 TEST(ExpertMapStoreTest, EmptyStoreSearchesFindNothing) {

@@ -246,5 +246,127 @@ TEST_P(MassCoverPropertyTest, SelectionIsGreedyAndUnique) {
 INSTANTIATE_TEST_SUITE_P(Thresholds, MassCoverPropertyTest,
                          ::testing::Values(0.0, 0.2, 0.5, 0.8, 0.99));
 
+TEST(FloatKernelTest, DotFMatchesDoubleDot) {
+  std::vector<float> a;
+  std::vector<float> b;
+  std::vector<double> ad;
+  std::vector<double> bd;
+  for (int i = 0; i < 11; ++i) {  // Odd length exercises the unroll tail.
+    a.push_back(0.25f * static_cast<float>(i) - 1.0f);
+    b.push_back(0.5f - 0.125f * static_cast<float>(i));
+    ad.push_back(a.back());
+    bd.push_back(b.back());
+  }
+  EXPECT_NEAR(DotF(a, b), Dot(ad, bd), 1e-12);
+  EXPECT_EQ(DotF(std::span<const float>{}, std::span<const float>{}), 0.0);
+}
+
+TEST(FloatKernelTest, DotBatchedWalksRowsWithStride) {
+  // 3 rows, stride 5, query dim 3: trailing pad floats must be ignored.
+  const std::vector<float> rows = {1, 2, 3, 99, 99,   //
+                                   0, 1, 0, 99, 99,   //
+                                   -1, -1, -1, 99, 99};
+  const std::vector<float> query = {2, 0, 1};
+  std::vector<double> out(3, 0.0);
+  DotBatched(query, rows.data(), 5, 3, out.data());
+  EXPECT_EQ(out[0], 5.0);
+  EXPECT_EQ(out[1], 0.0);
+  EXPECT_EQ(out[2], -3.0);
+  DotBatched(query, rows.data(), 5, 3, out.data(), /*accumulate=*/true);
+  EXPECT_EQ(out[0], 10.0);  // Accumulation doubles each dot.
+  EXPECT_EQ(out[1], 0.0);
+  EXPECT_EQ(out[2], -6.0);
+}
+
+TEST(FloatKernelTest, CosineAgainstRowsMatchesScalarCosine) {
+  const std::vector<float> rows = {1, 0, 0, 0,   //
+                                   1, 1, 0, 0,   //
+                                   0, 0, 0, 0};  // Zero-norm row.
+  const std::vector<float> query = {1, 1, 0, 0};
+  const double inv_qnorm = 1.0 / std::sqrt(DotF(query, query));
+  // Inverse row norms; 0 stands in for the zero-norm row.
+  const std::vector<double> inv_row_norms = {1.0, 1.0 / std::sqrt(2.0), 0.0};
+  std::vector<double> out(3, -9.0);
+  CosineAgainstRows(query, inv_qnorm, rows.data(), 4, 3, inv_row_norms.data(), out.data());
+  const std::vector<double> qd = {1, 1, 0, 0};
+  EXPECT_NEAR(out[0], CosineSimilarity(qd, std::vector<double>{1, 0, 0, 0}), 1e-12);
+  EXPECT_NEAR(out[1], 1.0, 1e-12);
+  EXPECT_EQ(out[2], 0.0);  // Zero-norm row scores 0, the CosineSimilarity convention.
+}
+
+TEST(FloatKernelTest, CosineAgainstRowsZeroQueryNormScoresZero) {
+  const std::vector<float> rows = {1, 2, 3, 4};
+  const std::vector<float> query = {0, 0, 0, 0};
+  const std::vector<double> inv_row_norms = {1.0 / 5.477};
+  std::vector<double> out(1, -9.0);
+  CosineAgainstRows(query, /*inv_query_norm=*/0.0, rows.data(), 4, 1, inv_row_norms.data(),
+                    out.data());
+  EXPECT_EQ(out[0], 0.0);
+}
+
+TEST(FloatKernelTest, AccumulateColumnsMatchesPerRowDots) {
+  // 3 coefficients x 5 rows, column-major with stride 7 (trailing pad must be ignored).
+  const size_t stride = 7;
+  const std::vector<float> cols = {1, 2,  3,  4, 5,  -1, -1,   // column 0
+                                   0, 1,  0,  2, 0,  -1, -1,   // column 1
+                                   5, -5, 10, 0, -2, -1, -1};  // column 2
+  const std::vector<float> coeffs = {2, 3, 0.5};
+  std::vector<double> out(5, 1.0);  // Accumulates on top of existing values.
+  AccumulateColumns(coeffs, cols.data(), stride, 5, out.data());
+  for (size_t i = 0; i < 5; ++i) {
+    double expected = 1.0;
+    for (size_t k = 0; k < coeffs.size(); ++k) {
+      expected += static_cast<double>(coeffs[k]) * static_cast<double>(cols[k * stride + i]);
+    }
+    EXPECT_NEAR(out[i], expected, 1e-6) << "row " << i;
+  }
+}
+
+TEST(FloatKernelTest, AccumulateColumnsCrossesTileAndFlushBoundaries) {
+  // Row count past the 2048-row tile and coefficient count past the 16-coeff flush block, so
+  // both internal boundaries are exercised; results must equal an independent double scan.
+  const size_t count = 2048 + 37;
+  const size_t num_coeffs = 35;
+  std::vector<float> cols(num_coeffs * count);
+  std::vector<float> coeffs(num_coeffs);
+  for (size_t k = 0; k < num_coeffs; ++k) {
+    coeffs[k] = 0.01f * static_cast<float>(k % 13) - 0.05f;
+    for (size_t i = 0; i < count; ++i) {
+      cols[k * count + i] = 0.001f * static_cast<float>((k * 31 + i * 7) % 97);
+    }
+  }
+  std::vector<double> out(count, 0.0);
+  AccumulateColumns(coeffs, cols.data(), count, count, out.data());
+  for (size_t i = 0; i < count; i += 251) {
+    double expected = 0.0;
+    for (size_t k = 0; k < num_coeffs; ++k) {
+      expected += static_cast<double>(coeffs[k]) * static_cast<double>(cols[k * count + i]);
+    }
+    EXPECT_NEAR(out[i], expected, 1e-6) << "row " << i;
+  }
+}
+
+TEST(FloatKernelTest, AccumulateColumnsIsPartitionIndependent) {
+  // Computing [0, count) in one call must be bitwise identical to computing two sub-ranges —
+  // the property the store's deterministic search_threads partitioning relies on.
+  const size_t count = 1000;
+  const std::vector<float> coeffs = {0.5f, -1.25f, 2.0f, 0.125f};
+  std::vector<float> cols(coeffs.size() * count);
+  for (size_t k = 0; k < coeffs.size(); ++k) {
+    for (size_t i = 0; i < count; ++i) {
+      cols[k * count + i] = 0.01f * static_cast<float>((k + 3 * i) % 53) - 0.2f;
+    }
+  }
+  std::vector<double> whole(count, 0.0);
+  AccumulateColumns(coeffs, cols.data(), count, count, whole.data());
+  std::vector<double> split(count, 0.0);
+  const size_t cut = 333;
+  AccumulateColumns(coeffs, cols.data(), count, cut, split.data());
+  AccumulateColumns(coeffs, cols.data() + cut, count, count - cut, split.data() + cut);
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(whole[i], split[i]) << "row " << i;
+  }
+}
+
 }  // namespace
 }  // namespace fmoe
