@@ -1,6 +1,9 @@
 // Figure 15: latency breakdown of one fMoE inference iteration for the three models —
-// synchronous components (compute, on-demand loading, context collection) versus asynchronous
-// tasks (map matching, prefetch issue, map update) that do not extend the iteration.
+// critical-path components (compute, on-demand loading, context collection) versus policy
+// work overlapped on the background matcher worker (map matching, prefetch issue, map
+// update). A second pass runs the matcher at modeled speed (matcher_latency_scale = 1) to
+// show that the pub-sub pipeline degrades hit rate gracefully instead of extending the
+// iteration.
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -16,6 +19,7 @@ int main() {
       {"attention compute"},   {"expert compute"},        {"on-demand loading (stall)"},
       {"layer overhead"},      {"context collection (sync)"}, {"TOTAL iteration"},
       {"map matching (async)"}, {"prefetch issue (async)"},   {"map update (async)"},
+      {"policy critical path (ms)"}, {"policy overlapped (ms)"},
       {"sync overhead share (%)"}};
 
   for (const fmoe::ModelConfig& model : fmoe::AllPaperModels()) {
@@ -38,7 +42,9 @@ int main() {
         per_iter(b.async_work[static_cast<size_t>(fmoe::OverheadCategory::kPrefetchIssue)]));
     rows[8].push_back(
         per_iter(b.async_work[static_cast<size_t>(fmoe::OverheadCategory::kMapUpdate)]));
-    rows[9].push_back(Pct(b.TotalSyncOverhead() / b.TotalIteration()));
+    rows[9].push_back(per_iter(b.PolicyCriticalPathSeconds()));
+    rows[10].push_back(per_iter(b.PolicyOverlappedSeconds()));
+    rows[11].push_back(Pct(b.TotalSyncOverhead() / b.TotalIteration()));
   }
   for (auto& row : rows) {
     table.AddRow(row);
@@ -47,6 +53,35 @@ int main() {
   std::cout << "Expected shape (paper Fig. 15 / §6.7): map matching, prefetching, and map\n"
                "updates run asynchronously and do not extend the iteration; the synchronous\n"
                "policy overhead (context collection) stays a small share (< 5%) of the\n"
-               "iteration; Qwen iterations are much shorter than Mixtral/Phi.\n";
+               "iteration; Qwen iterations are much shorter than Mixtral/Phi.\n\n";
+
+  // Matcher-latency sensitivity (pub-sub pipeline, §4.3): a slower background matcher delays
+  // prefetch decisions — hit rate erodes and stale decisions get superseded — but the policy
+  // critical path stays flat because no deferred job ever blocks the forward pass.
+  fmoe::PrintBanner(std::cout, "Matcher-latency sensitivity (Mixtral, fMoE)");
+  AsciiTable sweep({"latency scale", "hit rate (%)", "TPOT (ms)", "critical path (ms/it)",
+                    "overlapped (ms/it)", "applied", "superseded", "dropped"});
+  // Match costs are microseconds against millisecond layers, so the interesting regime is
+  // orders of magnitude: small scales only delay a decision to the next layer boundary;
+  // 1e4+ pushes completions past whole iterations and starves prefetch lead time.
+  for (const double scale : {0.0, 1.0, 1e2, 1e4, 1e6}) {
+    fmoe::ExperimentOptions options =
+        SweepOptions(fmoe::MixtralConfig(), fmoe::LmsysLikeProfile());
+    options.matcher_latency_scale = scale;
+    const fmoe::ExperimentResult result = fmoe::RunOffline("fMoE", options);
+    const double iters = static_cast<double>(result.iterations);
+    sweep.AddRow({AsciiTable::Num(scale, 1), Pct(result.hit_rate),
+                  Ms(result.mean_tpot, 2),
+                  Ms(result.breakdown.PolicyCriticalPathSeconds() / iters, 3),
+                  Ms(result.breakdown.PolicyOverlappedSeconds() / iters, 3),
+                  std::to_string(result.deferred.applied),
+                  std::to_string(result.deferred.superseded),
+                  std::to_string(result.deferred.dropped)});
+  }
+  sweep.Print(std::cout);
+  std::cout << "Expected shape: hit rate degrades gracefully as the matcher slows (decisions\n"
+               "arrive later, stale ones are superseded) while the policy critical path stays\n"
+               "flat — the latency cost of decoupling lands on prefetch lead time, never on\n"
+               "the iteration.\n";
   return 0;
 }

@@ -82,13 +82,16 @@ void EamPolicy::OnGateOutput(EngineHandle& engine, const IterationContext& conte
   for (int expert : activated) {
     counts[base + static_cast<size_t>(expert)] += 1.0;
   }
-  if (options_.decision_overhead_sec > 0.0) {
-    engine.AddOverhead(OverheadCategory::kMapMatching, options_.decision_overhead_sec);
-  }
-  const int target = layer + prefetch_distance_;
-  if (target < model_.num_layers) {
-    PrefetchForLayer(engine, context.batch_slot, target, layer);
-  }
+  // Blocking publish: MoE-Infinity predicts and decides on the critical path (§4.3), so the
+  // decision cost extends the iteration and the commands apply inline at every latency scale.
+  engine.PublishDeferred(
+      OverheadCategory::kMapMatching, PublishMode::kBlocking, options_.decision_overhead_sec,
+      /*topic=*/0, [this, slot = context.batch_slot, layer](EngineHandle& handle) {
+        const int target = layer + prefetch_distance_;
+        if (target < model_.num_layers) {
+          PrefetchForLayer(handle, slot, target, layer);
+        }
+      });
 }
 
 void EamPolicy::OnRequestCompleted(EngineHandle& /*engine*/, const IterationContext& context) {

@@ -26,6 +26,7 @@ SpeculativeOptions ProMoeOptions(int prefetch_distance) {
   options.prefetch_at_start = true;
   options.extra_experts = 0;
   options.decision_overhead_sec = 0.0;
+  options.async_cost_sec = 2.0e-5;  // Per-layer predictor inference, off the critical path.
   options.predictor_skill = 0.55;  // Trained predictors hold accuracy across the stride.
   return options;
 }
@@ -44,18 +45,35 @@ void SpeculativePolicy::FetchPrediction(EngineHandle& engine, const IterationCon
   const size_t count = static_cast<size_t>(model_.top_k) +
                        static_cast<size_t>(std::max(options_.extra_experts, 0));
   const std::vector<size_t> top = TopKIndices(predicted, count);
-  for (size_t idx : top) {
-    // Start every transfer first so they overlap across device links.
-    engine.PrefetchAsync(ExpertId{target_layer, static_cast<int>(idx)}, predicted[idx],
-                         predicted[idx] / static_cast<double>(std::max(distance, 1)));
-  }
   if (options_.synchronous) {
+    for (size_t idx : top) {
+      // Start every transfer first so they overlap across device links.
+      engine.PrefetchAsync(ExpertId{target_layer, static_cast<int>(idx)}, predicted[idx],
+                           predicted[idx] / static_cast<double>(std::max(distance, 1)));
+    }
     // Synchronous speculation (Mixtral-Offloading): the forward pass blocks until every
     // speculative load has landed.
     for (size_t idx : top) {
       engine.BlockingLoad(ExpertId{target_layer, static_cast<int>(idx)}, predicted[idx]);
     }
+    return;
   }
+  // Asynchronous speculation (ProMoE): the prediction is computed now but its prefetches are
+  // a published message — by value, since the request may complete before a slow worker gets
+  // to the job. One topic per (slot, target): a fresher prediction supersedes a pending one.
+  const uint64_t topic = 1 +
+                         static_cast<uint64_t>(context.batch_slot) *
+                             static_cast<uint64_t>(model_.num_layers + 1) +
+                         static_cast<uint64_t>(target_layer);
+  const double priority_scale = 1.0 / static_cast<double>(std::max(distance, 1));
+  engine.PublishDeferred(
+      OverheadCategory::kMapMatching, PublishMode::kAsync, options_.async_cost_sec, topic,
+      [target_layer, top, predicted, priority_scale](EngineHandle& handle) {
+        for (size_t idx : top) {
+          handle.PrefetchAsync(ExpertId{target_layer, static_cast<int>(idx)}, predicted[idx],
+                               predicted[idx] * priority_scale);
+        }
+      });
 }
 
 void SpeculativePolicy::OnIterationStart(EngineHandle& engine,
@@ -72,10 +90,22 @@ void SpeculativePolicy::OnIterationStart(EngineHandle& engine,
 void SpeculativePolicy::OnGateOutput(EngineHandle& engine, const IterationContext& context,
                                      int layer, const std::vector<double>& /*probs*/,
                                      const std::vector<int>& /*activated*/) {
+  const int target = layer + options_.distance;
+  if (options_.synchronous) {
+    // Blocking publish: the per-layer gate re-run is on the critical path, and the loads
+    // apply inline regardless of the matcher latency scale.
+    engine.PublishDeferred(OverheadCategory::kMapMatching, PublishMode::kBlocking,
+                           options_.decision_overhead_sec, /*topic=*/0,
+                           [this, &context, target](EngineHandle& handle) {
+                             if (target < model_.num_layers) {
+                               FetchPrediction(handle, context, target, options_.distance);
+                             }
+                           });
+    return;
+  }
   if (options_.decision_overhead_sec > 0.0) {
     engine.AddOverhead(OverheadCategory::kMapMatching, options_.decision_overhead_sec);
   }
-  const int target = layer + options_.distance;
   if (target < model_.num_layers) {
     FetchPrediction(engine, context, target, options_.distance);
   }

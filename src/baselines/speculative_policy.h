@@ -25,6 +25,10 @@ struct SpeculativeOptions {
   bool prefetch_at_start = true; // Cover layers [0, distance) from the iteration start.
   int extra_experts = 0;         // Prefetch top-(K + extra) of the prediction.
   double decision_overhead_sec = 0.0;  // Synchronous per-layer prediction cost.
+  // Modeled cost of one asynchronous prediction job (predictor inference + issue) when
+  // !synchronous: published to the background worker, so at nonzero matcher_latency_scale the
+  // speculative prefetches land late, like a real decoupled predictor.
+  double async_cost_sec = 0.0;
   // Predictor quality: the lookahead distance is scaled by this before corruption is applied
   // (< 1 models ProMoE's trained per-layer predictors, which degrade slower with stride than
   // naive gate reuse).
@@ -46,6 +50,9 @@ class SpeculativePolicy : public OffloadPolicy {
                     const std::vector<int>& activated) override;
 
  private:
+  // Synchronous path: predicts and loads inline (Mixtral-Offloading). Asynchronous path:
+  // computes the prediction now, captures the prefetch list by value, and publishes it as a
+  // deferred job (ProMoE's decoupled predictor).
   void FetchPrediction(EngineHandle& engine, const IterationContext& context, int target_layer,
                        int distance);
 

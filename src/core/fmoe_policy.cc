@@ -22,43 +22,72 @@ HybridMatcher& FmoePolicy::MatcherForSlot(int slot) {
   return *matchers_[static_cast<size_t>(slot)];
 }
 
-void FmoePolicy::ReportSearchWork(EngineHandle& engine, HybridMatcher& matcher) {
-  const uint64_t flops = matcher.ConsumeSearchFlops();
-  if (flops > 0) {
-    engine.AddAsyncWork(OverheadCategory::kMapMatching,
-                        static_cast<double>(flops) / options_.search_throughput_flops);
-  }
-}
-
-void FmoePolicy::IssuePrefetches(EngineHandle& engine, HybridMatcher& matcher, int target_layer,
-                                 int current_layer) {
+FmoePolicy::PrefetchCommand FmoePolicy::BuildCommand(const HybridMatcher& matcher,
+                                                     int target_layer,
+                                                     int current_layer) const {
+  PrefetchCommand command;
   const Guidance guidance = matcher.GuidanceFor(target_layer);
   if (!guidance.valid) {
-    return;
+    return command;
   }
-  const std::vector<PrefetchCandidate> candidates =
-      SelectExperts(guidance.probs, guidance.score, model_.top_k, target_layer, current_layer,
-                    options_.prefetcher);
+  command.valid = true;
+  command.target_layer = target_layer;
+  command.stamp_probs = guidance.probs;
+  command.candidates = SelectExperts(guidance.probs, guidance.score, model_.top_k,
+                                     target_layer, current_layer, options_.prefetcher);
+  return command;
+}
+
+void FmoePolicy::ApplyCommand(EngineHandle& engine, const PrefetchCommand& command,
+                              double low_precision_threshold,
+                              double low_precision_fraction) {
   // Re-stamp the whole layer's distribution on resident experts so eviction priorities track
   // the *current* matched map, not stale history (§4.5).
-  for (int j = 0; j < model_.experts_per_layer; ++j) {
-    engine.SetCachedProbability(ExpertId{target_layer, j},
-                                guidance.probs[static_cast<size_t>(j)]);
+  for (size_t j = 0; j < command.stamp_probs.size(); ++j) {
+    engine.SetCachedProbability(ExpertId{command.target_layer, static_cast<int>(j)},
+                                command.stamp_probs[j]);
   }
-  for (const PrefetchCandidate& candidate : candidates) {
-    const ExpertId id{target_layer, candidate.expert};
-    if (options_.low_precision_threshold > 0.0 &&
-        candidate.probability < options_.low_precision_threshold) {
+  for (const PrefetchCandidate& candidate : command.candidates) {
+    const ExpertId id{command.target_layer, candidate.expert};
+    if (low_precision_threshold > 0.0 && candidate.probability < low_precision_threshold) {
       // Less-critical expert: stream a reduced-precision copy (lossy extension).
       engine.PrefetchAsyncSized(id, candidate.probability, candidate.priority,
-                                options_.low_precision_fraction);
+                                low_precision_fraction);
     } else {
       engine.PrefetchAsync(id, candidate.probability, candidate.priority);
     }
   }
   // Issuing transfers is a handful of queue operations per candidate — async, cheap.
   engine.AddAsyncWork(OverheadCategory::kPrefetchIssue,
-                      1.0e-6 * static_cast<double>(candidates.size()));
+                      1.0e-6 * static_cast<double>(command.candidates.size()));
+}
+
+void FmoePolicy::PublishMatchWork(EngineHandle& engine, double cost_seconds, uint64_t topic,
+                                  std::vector<PrefetchCommand> commands) {
+  if (!options_.publish_deferred) {
+    // Legacy inline path: charge the async work and apply immediately, bypassing the pub-sub
+    // pipeline entirely.
+    if (cost_seconds > 0.0) {
+      engine.AddAsyncWork(OverheadCategory::kMapMatching, cost_seconds);
+    }
+    for (const PrefetchCommand& command : commands) {
+      ApplyCommand(engine, command, options_.low_precision_threshold,
+                   options_.low_precision_fraction);
+    }
+    return;
+  }
+  DeferredApply apply;
+  if (!commands.empty()) {
+    apply = [commands = std::move(commands),
+             low_precision_threshold = options_.low_precision_threshold,
+             low_precision_fraction = options_.low_precision_fraction](EngineHandle& e) {
+      for (const PrefetchCommand& command : commands) {
+        ApplyCommand(e, command, low_precision_threshold, low_precision_fraction);
+      }
+    };
+  }
+  engine.PublishDeferred(OverheadCategory::kMapMatching, PublishMode::kAsync, cost_seconds,
+                         topic, std::move(apply));
 }
 
 void FmoePolicy::OnIterationStart(EngineHandle& engine, const IterationContext& context) {
@@ -66,16 +95,23 @@ void FmoePolicy::OnIterationStart(EngineHandle& engine, const IterationContext& 
                      options_.context_collection_sec_per_layer * model_.num_layers);
   HybridMatcher& matcher = MatcherForSlot(context.batch_slot);
   matcher.BeginIteration(context.embedding);
-  ReportSearchWork(engine, matcher);
+  const double cost = static_cast<double>(matcher.ConsumeSearchFlops()) /
+                      options_.search_throughput_flops;
   if (matcher.semantic_found()) {
     semantic_score_sum_ += matcher.semantic_score();
     ++semantic_score_count_;
   }
-  // Semantic-matched guidance covers the layers no trajectory can reach yet (§4.2).
+  // Semantic-matched guidance covers the layers no trajectory can reach yet (§4.2). The whole
+  // first window rides one published job: it is one semantic search's worth of matcher work.
   const int first_window = std::min(prefetch_distance_, model_.num_layers);
+  std::vector<PrefetchCommand> commands;
   for (int target = 0; target < first_window; ++target) {
-    IssuePrefetches(engine, matcher, target, /*current_layer=*/-1);
+    PrefetchCommand command = BuildCommand(matcher, target, /*current_layer=*/-1);
+    if (command.valid) {
+      commands.push_back(std::move(command));
+    }
   }
+  PublishMatchWork(engine, cost, StartTopic(context.batch_slot), std::move(commands));
 }
 
 void FmoePolicy::OnGateOutput(EngineHandle& engine, const IterationContext& context, int layer,
@@ -83,15 +119,23 @@ void FmoePolicy::OnGateOutput(EngineHandle& engine, const IterationContext& cont
                               const std::vector<int>& /*activated*/) {
   HybridMatcher& matcher = MatcherForSlot(context.batch_slot);
   matcher.ObserveLayer(layer, probs);
-  ReportSearchWork(engine, matcher);
+  const double cost = static_cast<double>(matcher.ConsumeSearchFlops()) /
+                      options_.search_throughput_flops;
   if (matcher.trajectory_found()) {
     trajectory_score_sum_ += matcher.trajectory_score();
     ++trajectory_score_count_;
   }
   const int target = layer + prefetch_distance_;
+  std::vector<PrefetchCommand> commands;
+  uint64_t topic = 0;  // Pure-work job (search that guides no in-range layer): no supersession.
   if (target < model_.num_layers) {
-    IssuePrefetches(engine, matcher, target, layer);
+    topic = GateTopic(context.batch_slot, target);
+    PrefetchCommand command = BuildCommand(matcher, target, layer);
+    if (command.valid) {
+      commands.push_back(std::move(command));
+    }
   }
+  PublishMatchWork(engine, cost, topic, std::move(commands));
 }
 
 void FmoePolicy::OnIterationEnd(EngineHandle& engine, const IterationContext& context,
@@ -110,9 +154,17 @@ void FmoePolicy::OnIterationEnd(EngineHandle& engine, const IterationContext& co
   record.embedding = context.embedding;
   record.request_id = context.request->id;
   record.iteration = context.iteration;
+  // The store mutates immediately (matcher state cannot diverge across latency scales); the
+  // published job carries the update's modeled cost, occupying the background worker.
   const uint64_t flops = store_.Insert(std::move(record));
-  engine.AddAsyncWork(OverheadCategory::kMapUpdate,
-                      static_cast<double>(flops) / options_.search_throughput_flops);
+  const double cost =
+      static_cast<double>(flops) / options_.search_throughput_flops;
+  if (!options_.publish_deferred) {
+    engine.AddAsyncWork(OverheadCategory::kMapUpdate, cost);
+    return;
+  }
+  engine.PublishDeferred(OverheadCategory::kMapUpdate, PublishMode::kAsync, cost,
+                         /*topic=*/0, /*apply=*/nullptr);
 }
 
 void FmoePolicy::Reset() {

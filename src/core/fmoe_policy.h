@@ -4,9 +4,11 @@
 // expert maps from the store, prefetch experts selected by the dynamic δ threshold in
 // PRI^prefetch order, stamp matched probabilities on cached experts for priority eviction, and
 // insert the completed iteration's map back into the store (with RDY dedup at capacity).
-// Matching, prefetch issue, and store updates are asynchronous (reported via AddAsyncWork);
-// only the lightweight context collection runs synchronously — mirroring the pub-sub
-// architecture of §4.3 and the overhead accounting of Fig. 15.
+// Matching, prefetch issue, and store updates are asynchronous: each hook computes its
+// decision immediately (matcher state advances in virtual-zero time) and *publishes* it with
+// its modeled search cost via EngineHandle::PublishDeferred — the engine's background matcher
+// worker delivers the command at the modeled completion instant (§4.3 pub-sub). Only the
+// lightweight context collection runs synchronously, matching Fig. 15's overhead accounting.
 //
 // The ablation variants of Fig. 12a are configuration points here: Map(T) disables semantic
 // search, Map(T+S) disables the dynamic threshold, Map(T+S+δ) is the default.
@@ -38,6 +40,11 @@ struct FmoeOptions {
   // Synchronous context-collection cost per MoE layer per iteration (gathering L gate
   // distributions + the iteration embedding; Fig. 15 keeps the total in the low ms).
   double context_collection_sec_per_layer = 1.0e-5;
+  // Route match/prefetch work through EngineHandle::PublishDeferred (the pub-sub pipeline,
+  // §4.3): prefetch commands apply when the modeled matcher worker finishes the job. false
+  // uses the legacy inline path (AddAsyncWork + immediate commands), which equals the
+  // published path at matcher_latency_scale == 0 — the replay-equivalence test pins this.
+  bool publish_deferred = true;
   // Mixed-precision extension (Hobbit-style): prefetch candidates whose matched probability
   // is below this threshold at reduced precision (half the bytes). 0 disables the feature
   // (the paper's lossless default).
@@ -80,10 +87,35 @@ class FmoePolicy : public OffloadPolicy {
   void ClearScoreLog() { score_log_.clear(); }
 
  private:
+  // A prefetch decision computed at publish time: the layer distribution to stamp on resident
+  // experts plus the selected candidates in PRI^prefetch order. This is the pub-sub message
+  // body — values, not a recipe — so applying it later uses the matcher state as observed,
+  // not as it has since evolved.
+  struct PrefetchCommand {
+    bool valid = false;
+    int target_layer = 0;
+    std::vector<double> stamp_probs;
+    std::vector<PrefetchCandidate> candidates;
+  };
+
   HybridMatcher& MatcherForSlot(int slot);
-  void IssuePrefetches(EngineHandle& engine, HybridMatcher& matcher, int target_layer,
-                       int current_layer);
-  void ReportSearchWork(EngineHandle& engine, HybridMatcher& matcher);
+  PrefetchCommand BuildCommand(const HybridMatcher& matcher, int target_layer,
+                               int current_layer) const;
+  static void ApplyCommand(EngineHandle& engine, const PrefetchCommand& command,
+                           double low_precision_threshold, double low_precision_fraction);
+  // Publishes `cost_seconds` of matcher work carrying `commands` on `topic` (kAsync), or runs
+  // the legacy inline path when publish_deferred is off.
+  void PublishMatchWork(EngineHandle& engine, double cost_seconds, uint64_t topic,
+                        std::vector<PrefetchCommand> commands);
+
+  // Pub-sub topics: one per (batch slot, target layer) so a newer gate observation for the
+  // same target supersedes a still-pending older decision, plus one per slot for the
+  // iteration-start (semantic window) job.
+  uint64_t GateTopic(int slot, int target_layer) const {
+    return 1 + static_cast<uint64_t>(slot) * static_cast<uint64_t>(model_.num_layers + 1) +
+           static_cast<uint64_t>(target_layer);
+  }
+  uint64_t StartTopic(int slot) const { return GateTopic(slot, model_.num_layers); }
 
   ModelConfig model_;
   int prefetch_distance_;

@@ -28,6 +28,8 @@ EngineConfig MakeEngineConfig(const ExperimentOptions& options, const SystemSpec
   config.gate = options.gate;
   config.hardware = options.hardware;
   config.seed = options.seed;
+  config.matcher_latency_scale = options.matcher_latency_scale;
+  config.matcher_queue_depth = options.matcher_queue_depth;
   return config;
 }
 
@@ -41,6 +43,7 @@ void FillResult(const std::string& system_name, const ExperimentOptions& options
   result->mean_e2e = metrics.MeanEndToEnd();
   result->iterations = metrics.iterations();
   result->breakdown = metrics.breakdown();
+  result->deferred = metrics.deferred();
   result->cache_capacity_gb = static_cast<double>(engine.cache().capacity_bytes()) / kGiB;
   result->cache_used_gb = static_cast<double>(engine.cache().used_bytes()) / kGiB;
   result->request_latencies = metrics.EndToEndLatencies();

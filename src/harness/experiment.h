@@ -36,6 +36,10 @@ struct ExperimentOptions {
   size_t store_capacity = 512;      // fMoE map-store capacity for experiments.
   bool enable_score_log = false;    // Per-iteration similarity log (Fig. 8).
   bool keep_iteration_records = false;
+  // Background matcher-worker model (see EngineConfig): 0 = instantaneous decisions (the
+  // historical semantics), 1 = matcher running at the modeled search throughput.
+  double matcher_latency_scale = 0.0;
+  int matcher_queue_depth = 32;
   GateProfile gate;
   HardwareProfile hardware;
 };
@@ -48,6 +52,7 @@ struct ExperimentResult {
   double mean_e2e = 0.0;
   uint64_t iterations = 0;
   LatencyBreakdown breakdown;
+  DeferredPipelineStats deferred;  // Pub-sub pipeline counters for the measured phase.
   double cache_capacity_gb = 0.0;
   double cache_used_gb = 0.0;  // Residency at the end of the run.
   std::vector<double> request_latencies;  // End-to-end per request (Fig. 10 CDF).

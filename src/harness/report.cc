@@ -83,7 +83,24 @@ void WriteResultJson(const ExperimentResult& result, bool include_latencies,
       out << ",";
     }
   }
-  out << "}}";
+  out << "},";
+  out << "\"policy_critical_path_s\":" << Num(b.PolicyCriticalPathSeconds()) << ",";
+  out << "\"policy_overlapped_s\":" << Num(b.PolicyOverlappedSeconds());
+  out << "},";
+  const DeferredPipelineStats& d = result.deferred;
+  out << "\"deferred\":{";
+  out << "\"published\":" << d.published << ",";
+  out << "\"applied\":" << d.applied << ",";
+  out << "\"superseded\":" << d.superseded << ",";
+  out << "\"dropped\":" << d.dropped << ",";
+  out << "\"blocking\":" << d.blocking << ",";
+  out << "\"pending\":" << d.Pending() << ",";
+  out << "\"modeled_work_s\":" << Num(d.modeled_work_s) << ",";
+  out << "\"overlapped_s\":" << Num(d.overlapped_s) << ",";
+  out << "\"wasted_work_s\":" << Num(d.wasted_work_s) << ",";
+  out << "\"queue_wait_s\":" << Num(d.queue_wait_s) << ",";
+  out << "\"decision_latency_s\":" << Num(d.decision_latency_s);
+  out << "}";
   if (include_latencies) {
     out << ",\"request_latencies_s\":[";
     for (size_t i = 0; i < result.request_latencies.size(); ++i) {

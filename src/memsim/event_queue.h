@@ -1,0 +1,147 @@
+// Deterministic virtual-time event queue.
+//
+// Orders events by (due_time, insertion sequence): pops are nondecreasing in time with strict
+// FIFO tie-breaking, so any set of events with distinct due times pops in the same order no
+// matter how it was inserted — the property the deferred-work pipeline (serving/deferred.h)
+// and its replay tests rely on. Events can be cancelled by sequence number (lazy removal) and
+// the oldest live event can be dropped, which implements bounded pub-sub queues.
+//
+// The queue does not own a clock; callers pass `now` to PopDue, mirroring SimClock/PcieLink.
+#ifndef FMOE_SRC_MEMSIM_EVENT_QUEUE_H_
+#define FMOE_SRC_MEMSIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace fmoe {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    double due = 0.0;
+    uint64_t seq = 0;
+    Payload payload;
+  };
+
+  // Schedules `payload` to become due at `due`. Returns the event's sequence number, unique
+  // and strictly increasing across the queue's lifetime (the FIFO tie-break key).
+  uint64_t Push(double due, Payload payload) {
+    const uint64_t seq = next_seq_++;
+    heap_.push(HeapEntry{due, seq});
+    live_.emplace(seq, LiveEvent{due, std::move(payload)});
+    return seq;
+  }
+
+  // Cancels a pending event. Returns false if it already popped or was cancelled.
+  bool Cancel(uint64_t seq, Payload* payload = nullptr) {
+    const auto it = live_.find(seq);
+    if (it == live_.end()) {
+      return false;
+    }
+    if (payload != nullptr) {
+      *payload = std::move(it->second.payload);
+    }
+    live_.erase(it);
+    return true;
+  }
+
+  // Cancels the oldest (lowest-sequence) pending event — the stalest entry of a bounded
+  // queue. Returns false when the queue is empty.
+  bool CancelOldest(Payload* payload = nullptr, uint64_t* seq = nullptr) {
+    if (live_.empty()) {
+      return false;
+    }
+    const auto it = live_.begin();
+    if (seq != nullptr) {
+      *seq = it->first;
+    }
+    if (payload != nullptr) {
+      *payload = std::move(it->second.payload);
+    }
+    live_.erase(it);
+    return true;
+  }
+
+  // Pops the earliest (due, seq) event with due <= now. Returns false when none is due.
+  bool PopDue(double now, Event* out) {
+    SkipCancelled();
+    if (heap_.empty() || heap_.top().due > now) {
+      return false;
+    }
+    return PopTop(out);
+  }
+
+  // Pops the earliest pending event unconditionally. Returns false when the queue is empty.
+  bool PopNext(Event* out) {
+    SkipCancelled();
+    if (heap_.empty()) {
+      return false;
+    }
+    return PopTop(out);
+  }
+
+  // Due time of the earliest pending event. Returns false when the queue is empty.
+  bool PeekNextDue(double* due) {
+    SkipCancelled();
+    if (heap_.empty()) {
+      return false;
+    }
+    *due = heap_.top().due;
+    return true;
+  }
+
+  // Number of pending (not popped, not cancelled) events.
+  size_t size() const { return live_.size(); }
+  bool empty() const { return live_.empty(); }
+
+ private:
+  struct HeapEntry {
+    double due = 0.0;
+    uint64_t seq = 0;
+    // std::priority_queue is a max-heap; invert so the smallest (due, seq) is on top.
+    bool operator<(const HeapEntry& other) const {
+      if (due != other.due) {
+        return due > other.due;
+      }
+      return seq > other.seq;
+    }
+  };
+  struct LiveEvent {
+    double due = 0.0;
+    Payload payload;
+  };
+
+  // Drops heap entries whose events were cancelled (lazy removal).
+  void SkipCancelled() {
+    while (!heap_.empty() && !live_.contains(heap_.top().seq)) {
+      heap_.pop();
+    }
+  }
+
+  bool PopTop(Event* out) {
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    const auto it = live_.find(top.seq);
+    FMOE_CHECK(it != live_.end());
+    out->due = top.due;
+    out->seq = top.seq;
+    out->payload = std::move(it->second.payload);
+    live_.erase(it);
+    return true;
+  }
+
+  std::priority_queue<HeapEntry> heap_;
+  // Pending events keyed by sequence; begin() is the oldest (CancelOldest's victim).
+  std::map<uint64_t, LiveEvent> live_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_MEMSIM_EVENT_QUEUE_H_

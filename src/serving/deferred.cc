@@ -1,0 +1,87 @@
+#include "src/serving/deferred.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace fmoe {
+
+void DeferredPipelineStats::Accumulate(const DeferredPipelineStats& other) {
+  published += other.published;
+  applied += other.applied;
+  superseded += other.superseded;
+  dropped += other.dropped;
+  blocking += other.blocking;
+  modeled_work_s += other.modeled_work_s;
+  overlapped_s += other.overlapped_s;
+  wasted_work_s += other.wasted_work_s;
+  queue_wait_s += other.queue_wait_s;
+  decision_latency_s += other.decision_latency_s;
+}
+
+MatcherWorker::MatcherWorker(double latency_scale, int queue_depth)
+    : latency_scale_(latency_scale), queue_depth_(queue_depth) {
+  FMOE_CHECK_MSG(latency_scale >= 0.0, "negative matcher_latency_scale " << latency_scale);
+  FMOE_CHECK_MSG(queue_depth >= 1, "matcher_queue_depth must be >= 1, got " << queue_depth);
+}
+
+uint64_t MatcherWorker::Publish(double now, DeferredJob job, std::vector<DeferredJob>* victims) {
+  FMOE_CHECK(!synchronous());
+  FMOE_CHECK(victims != nullptr);
+  // A newer observation supersedes the pending job on the same topic (§4.3 staleness rule).
+  if (job.topic != 0) {
+    const auto it = pending_topic_.find(job.topic);
+    if (it != pending_topic_.end()) {
+      DeferredJob stale;
+      if (queue_.Cancel(it->second, &stale)) {
+        topic_of_seq_.erase(stale.seq);
+        victims->push_back(std::move(stale));
+      }
+      pending_topic_.erase(it);
+    }
+  }
+  // Bounded queue: evict the stalest pending job to make room.
+  while (queue_.size() >= static_cast<size_t>(queue_depth_)) {
+    DeferredJob oldest;
+    if (!queue_.CancelOldest(&oldest)) {
+      break;
+    }
+    const auto topic_it = topic_of_seq_.find(oldest.seq);
+    if (topic_it != topic_of_seq_.end()) {
+      pending_topic_.erase(topic_it->second);
+      topic_of_seq_.erase(topic_it);
+    }
+    victims->push_back(std::move(oldest));
+  }
+
+  job.publish_time = now;
+  job.start_time = std::max(now, worker_free_at_);
+  job.completion_time = job.start_time + latency_scale_ * job.cost_seconds;
+  worker_free_at_ = job.completion_time;
+  job.seq = queue_.Push(job.completion_time, job);
+  // The payload's own seq field lags the assigned one by construction; patch bookkeeping off
+  // the returned value (PopDue reports the queue's seq, not the payload copy's).
+  if (job.topic != 0) {
+    pending_topic_[job.topic] = job.seq;
+    topic_of_seq_[job.seq] = job.topic;
+  }
+  return job.seq;
+}
+
+bool MatcherWorker::PopDue(double now, DeferredJob* out) {
+  EventQueue<DeferredJob>::Event event;
+  if (!queue_.PopDue(now, &event)) {
+    return false;
+  }
+  *out = std::move(event.payload);
+  out->seq = event.seq;
+  const auto topic_it = topic_of_seq_.find(event.seq);
+  if (topic_it != topic_of_seq_.end()) {
+    pending_topic_.erase(topic_it->second);
+    topic_of_seq_.erase(topic_it);
+  }
+  return true;
+}
+
+}  // namespace fmoe

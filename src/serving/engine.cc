@@ -32,7 +32,8 @@ ServingEngine::ServingEngine(const ModelConfig& model, const EngineConfig& confi
       eviction_policy_(MakeEvictionPolicy(config.cache_policy)),
       cache_(config.expert_cache_bytes == 0 ? model.total_expert_bytes()
                                             : config.expert_cache_bytes,
-             eviction_policy_.get()) {
+             eviction_policy_.get()),
+      matcher_(config.matcher_latency_scale, config.matcher_queue_depth) {
   FMOE_CHECK(policy != nullptr);
   FMOE_CHECK(config.prefetch_distance >= 1);
   cluster_.SetPlacement(config.placement, static_cast<uint64_t>(model.total_experts()));
@@ -218,6 +219,87 @@ void ServingEngine::AddAsyncWork(OverheadCategory category, double seconds) {
   metrics_.breakdown().async_work[static_cast<size_t>(category)] += seconds;
 }
 
+uint64_t ServingEngine::PublishDeferred(OverheadCategory category, PublishMode mode,
+                                        double cost_seconds, uint64_t topic,
+                                        DeferredApply apply) {
+  FMOE_CHECK(cost_seconds >= 0.0);
+  DeferredPipelineStats& stats = metrics_.deferred();
+  ++stats.published;
+  if (mode == PublishMode::kBlocking) {
+    // Synchronous decision: the cost extends the iteration, the commands apply inline.
+    ++stats.blocking;
+    AddOverhead(category, cost_seconds);
+    if (apply) {
+      apply(*this);
+    }
+    return 0;
+  }
+  AddAsyncWork(category, cost_seconds);
+  stats.modeled_work_s += cost_seconds;
+  if (matcher_.synchronous()) {
+    // Instantaneous matcher: identical call sequence to the pre-pub-sub engine (async work
+    // charged, then commands applied at the publish instant).
+    ++stats.applied;
+    stats.overlapped_s += cost_seconds;
+    if (apply) {
+      apply(*this);
+    }
+    return 0;
+  }
+  DeferredJob job;
+  job.topic = topic;
+  job.category = category;
+  job.cost_seconds = cost_seconds;
+  job.apply = std::move(apply);
+  std::vector<DeferredJob> victims;
+  const uint64_t seq = matcher_.Publish(clock_.now(), std::move(job), &victims);
+  for (const DeferredJob& victim : victims) {
+    // Publish cancels the same-topic pending job before any depth drop, so a victim sharing
+    // this publish's (nonzero) topic is necessarily the superseded one.
+    if (topic != 0 && victim.topic == topic) {
+      ++stats.superseded;
+    } else {
+      ++stats.dropped;
+    }
+    stats.wasted_work_s += victim.cost_seconds;
+  }
+  return seq;
+}
+
+void ServingEngine::DrainDeferred() {
+  if (matcher_.synchronous()) {
+    return;
+  }
+  DeferredJob job;
+  while (matcher_.PopDue(clock_.now(), &job)) {
+    DeferredPipelineStats& stats = metrics_.deferred();
+    ++stats.applied;
+    stats.overlapped_s += job.cost_seconds;
+    stats.queue_wait_s += job.start_time - job.publish_time;
+    stats.decision_latency_s += job.completion_time - job.publish_time;
+    if (job.apply) {
+      job.apply(*this);
+    }
+  }
+}
+
+bool ServingEngine::TransferTagsConsistent() const {
+  for (const auto& [tag, key] : transfer_key_by_tag_) {
+    const CacheEntry* entry = cache_.Find(key);
+    if (entry == nullptr || entry->transfer_tag != tag || !entry->prefetch_pending) {
+      return false;
+    }
+  }
+  for (const uint64_t key : cache_.Keys()) {
+    const CacheEntry* entry = cache_.Find(key);
+    if (entry->prefetch_pending && entry->transfer_tag != 0 &&
+        !transfer_key_by_tag_.contains(entry->transfer_tag)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 ServingEngine::ExpertJob ServingEngine::IssueExpert(ExpertId id, int tokens_routed) {
   const uint64_t key = KeyOf(id);
   PcieLink& link = LinkFor(key);
@@ -326,6 +408,10 @@ double ServingEngine::RunIteration(std::vector<BatchMember*>& active) {
     const double attention_time = cost_.AttentionTime(attention_tokens);
     metrics_.breakdown().attention_compute += attention_time;
     clock_.Advance(attention_time);
+    // Layer boundary: apply matcher jobs whose modeled completion fell during the attention
+    // pass — the subscription point of the pub-sub pipeline. Deferred prefetch commands thus
+    // reach the links strictly later than their gate observation, never earlier.
+    DrainDeferred();
 
     // Gate outputs, policy hooks, and the union of activated experts with routed tokens.
     std::map<int, int> tokens_by_expert;
@@ -370,6 +456,7 @@ double ServingEngine::RunIteration(std::vector<BatchMember*>& active) {
     metrics_.breakdown().layer_overhead += cost_.LayerOverhead();
     clock_.Advance(cost_.LayerOverhead());
   }
+  DrainDeferred();
 
   for (size_t m = 0; m < active.size(); ++m) {
     policy_->OnIterationEnd(*this, active[m]->context, layer_probs[m]);

@@ -24,6 +24,7 @@
 #include "src/moe/embedding.h"
 #include "src/moe/gate_simulator.h"
 #include "src/moe/model_config.h"
+#include "src/serving/deferred.h"
 #include "src/serving/metrics.h"
 #include "src/serving/policy.h"
 #include "src/workload/workload.h"
@@ -44,6 +45,12 @@ struct EngineConfig {
   GateProfile gate;
   EmbedderProfile embedder;
   uint64_t seed = 1;
+  // Pub-sub matcher-worker model (§4.3): published async jobs complete `scale * cost` after
+  // the worker picks them up. 0 reproduces the historical instantaneous semantics exactly
+  // (jobs apply inline at publish time); 1 models a matcher running at CostModel speed.
+  double matcher_latency_scale = 0.0;
+  // Bound on pending deferred jobs; past it the oldest pending job is dropped.
+  int matcher_queue_depth = 32;
 };
 
 class ServingEngine : public EngineHandle {
@@ -71,8 +78,12 @@ class ServingEngine : public EngineHandle {
   bool StepIteration();  // false when no requests are active.
   std::vector<RequestMetrics> DrainCompleted();
   size_t ActiveRequests() const { return active_members_.size(); }
-  // Lets schedulers move idle time forward to the next arrival.
-  void AdvanceClockTo(double t) { clock_.AdvanceTo(t); }
+  // Lets schedulers move idle time forward to the next arrival. Deferred jobs whose modeled
+  // completion falls inside the idle gap apply once time catches up to them.
+  void AdvanceClockTo(double t) {
+    clock_.AdvanceTo(t);
+    DrainDeferred();
+  }
 
   RunMetrics& metrics() { return metrics_; }
   const RunMetrics& metrics() const { return metrics_; }
@@ -99,6 +110,14 @@ class ServingEngine : public EngineHandle {
                                       int target_layer, int distance) const override;
   void AddOverhead(OverheadCategory category, double seconds) override;
   void AddAsyncWork(OverheadCategory category, double seconds) override;
+  uint64_t PublishDeferred(OverheadCategory category, PublishMode mode, double cost_seconds,
+                           uint64_t topic, DeferredApply apply) override;
+
+  // Deferred-pipeline introspection (tests and invariant checks).
+  size_t PendingDeferredJobs() const { return matcher_.pending(); }
+  const MatcherWorker& matcher() const { return matcher_; }
+  // Every queued-transfer tag maps to a resident entry carrying that tag, and vice versa.
+  bool TransferTagsConsistent() const;
 
  private:
   struct BatchMember {
@@ -135,6 +154,10 @@ class ServingEngine : public EngineHandle {
   // Removes victims' GPU allocations and cancels their queued transfers.
   void CleanupEvicted(const std::vector<CacheEntry>& evicted);
 
+  // Applies every deferred job whose modeled completion time has been reached (layer
+  // boundaries and idle advances are the subscription points of the pub-sub pipeline).
+  void DrainDeferred();
+
   // Releases prefetch pins whose target layer has completed (layer == -1: release all).
   void ReleasePrefetchPins(int completed_layer);
 
@@ -151,6 +174,7 @@ class ServingEngine : public EngineHandle {
   ExpertCache cache_;
   SimClock clock_;
   RunMetrics metrics_;
+  MatcherWorker matcher_;
 
   // Continuous-batching state.
   std::vector<std::unique_ptr<BatchMember>> active_members_;

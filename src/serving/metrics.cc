@@ -12,6 +12,14 @@ double LatencyBreakdown::TotalSyncOverhead() const {
   return total;
 }
 
+double LatencyBreakdown::PolicyOverlappedSeconds() const {
+  double total = 0.0;
+  for (double v : async_work) {
+    total += v;
+  }
+  return total;
+}
+
 double LatencyBreakdown::TotalIteration() const {
   return attention_compute + expert_compute + demand_stall + layer_overhead +
          TotalSyncOverhead();

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/serving/deferred.h"
 #include "src/serving/policy.h"
 #include "src/util/histogram.h"
 
@@ -45,6 +46,12 @@ struct LatencyBreakdown {
 
   double TotalSyncOverhead() const;
   double TotalIteration() const;  // Everything that extends the iteration.
+
+  // Policy-overhead split (Fig. 15): seconds of policy work that extended iterations versus
+  // seconds that ran on the background matcher worker, overlapped with forward compute.
+  double PolicyCriticalPathSeconds() const { return TotalSyncOverhead(); }
+  double PolicyOverlappedSeconds() const;
+
   void Accumulate(const LatencyBreakdown& other);
 };
 
@@ -71,6 +78,8 @@ class RunMetrics {
   void RecordIteration(double duration, bool is_prefill, uint64_t hits, uint64_t misses);
   LatencyBreakdown& breakdown() { return breakdown_; }
   const LatencyBreakdown& breakdown() const { return breakdown_; }
+  DeferredPipelineStats& deferred() { return deferred_; }
+  const DeferredPipelineStats& deferred() const { return deferred_; }
 
   const std::vector<RequestMetrics>& requests() const { return requests_; }
   uint64_t expert_hits() const { return expert_hits_; }
@@ -102,6 +111,7 @@ class RunMetrics {
   uint64_t low_precision_hits_ = 0;
   uint64_t iterations_ = 0;
   LatencyBreakdown breakdown_;
+  DeferredPipelineStats deferred_;
   LatencyHistogram decode_latency_{1e-6, 1e3, 64};
   LatencyHistogram prefill_latency_{1e-6, 1e3, 64};
 };

@@ -6,13 +6,19 @@
 // interface, so all comparisons run on identical mechanism — the same controlled setup the
 // paper builds by porting every baseline onto the MoE-Infinity codebase.
 //
-// Timing semantics: hooks run at a single instant of virtual time. Asynchronous work (fMoE's
-// map matching / prefetching, §4.3) is reported via AddAsyncWork and does NOT advance time;
-// synchronous work (MoE-Infinity's blocking prediction, Mixtral-Offloading's blocking
-// speculative loads) uses AddOverhead / BlockingLoad and DOES extend the iteration.
+// Timing semantics: hooks run at a single instant of virtual time, but decisions need not
+// take effect at that instant. Asynchronous pub-sub work (fMoE's map matching / prefetching,
+// §4.3) is *published* via PublishDeferred(kAsync): the engine models a background matcher
+// worker and applies the job's commands at `publish_time + matcher_latency_scale * cost`
+// (never extending the iteration — the cost is overlapped with compute). Synchronous work
+// (MoE-Infinity's blocking prediction, Mixtral-Offloading's blocking speculative loads) uses
+// PublishDeferred(kBlocking) / AddOverhead / BlockingLoad and DOES extend the iteration.
+// AddAsyncWork remains for pure accounting of overlapped work with no commands attached.
 #ifndef FMOE_SRC_SERVING_POLICY_H_
 #define FMOE_SRC_SERVING_POLICY_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -45,6 +51,23 @@ inline const char* OverheadCategoryName(OverheadCategory category) {
   }
   return "?";
 }
+
+// How a published job's modeled cost lands on the virtual timeline.
+enum class PublishMode {
+  // Pub-sub (§4.3): the job runs on the background matcher worker and its commands apply at
+  // the modeled completion instant; the cost never extends the iteration.
+  kAsync = 0,
+  // Synchronous decision-making: the cost advances virtual time immediately (critical path)
+  // and the commands apply inline. Models MoE-Infinity / Mixtral-Offloading blocking hooks.
+  kBlocking = 1,
+};
+
+class EngineHandle;
+
+// Body of a deferred job: runs at the job's completion instant with the engine positioned at
+// that time. Must capture its decisions (expert lists, probabilities) BY VALUE at publish
+// time — the pub-sub message carries the computed command, not a recipe to recompute it.
+using DeferredApply = std::function<void(EngineHandle&)>;
 
 // Per-iteration context handed to every hook.
 struct IterationContext {
@@ -100,6 +123,34 @@ class EngineHandle {
 
   // Records asynchronous policy work for the latency-breakdown figure without advancing time.
   virtual void AddAsyncWork(OverheadCategory category, double seconds) = 0;
+
+  // Publishes a match/prefetch job of modeled cost `cost_seconds` whose commands are in
+  // `apply` (may be null for pure-work jobs like store updates that only occupy the worker).
+  //
+  //   * kAsync: the job completes at publish_time + matcher_latency_scale * cost (queued
+  //     behind earlier jobs on the serial matcher worker); the engine runs `apply` at the
+  //     first layer boundary past that instant. A nonzero `topic` names the job's pub-sub
+  //     subject: a newer publish with the same topic supersedes a still-pending older one
+  //     (stale gate observations are dropped, §4.3). With matcher_latency_scale == 0 the job
+  //     applies inline — bit-identical to the historical synchronous semantics.
+  //   * kBlocking: equivalent to AddOverhead(category, cost_seconds) followed by the inline
+  //     apply — the synchronous-baseline path, unaffected by the latency scale.
+  //
+  // Returns the job's sequence number (0 when it applied inline). The default implementation
+  // applies inline in both modes so EngineHandle fakes and pre-pub-sub engines keep working.
+  virtual uint64_t PublishDeferred(OverheadCategory category, PublishMode mode,
+                                   double cost_seconds, uint64_t topic, DeferredApply apply) {
+    (void)topic;
+    if (mode == PublishMode::kBlocking) {
+      AddOverhead(category, cost_seconds);
+    } else {
+      AddAsyncWork(category, cost_seconds);
+    }
+    if (apply) {
+      apply(*this);
+    }
+    return 0;
+  }
 };
 
 class OffloadPolicy {

@@ -84,6 +84,10 @@ int main(int argc, char** argv) {
   flags.AddDouble("cache-gb", 0.0, "expert cache budget in GiB (0 = use --cache-fraction)");
   flags.AddDouble("cache-fraction", 0.22, "cache budget as a fraction of all expert bytes");
   flags.AddDouble("trace-rate", 0.08, "mean request arrival rate for online mode (req/s)");
+  flags.AddDouble("matcher-latency-scale", 0.0,
+                  "background matcher-worker latency multiplier (0 = instantaneous policy "
+                  "decisions, 1 = modeled matcher speed)");
+  flags.AddInt("matcher-queue-depth", 32, "pending deferred-job bound (oldest dropped past it)");
   flags.AddInt("seed", 42, "random seed (all components are deterministic given this)");
   flags.AddString("format", "table", "output format: table | json | csv");
   flags.AddBool("latencies", false, "include per-request latencies in JSON output");
@@ -125,6 +129,8 @@ int main(int argc, char** argv) {
   options.cache_bytes =
       static_cast<uint64_t>(flags.GetDouble("cache-gb") * (1ULL << 30));
   options.cache_fraction = flags.GetDouble("cache-fraction");
+  options.matcher_latency_scale = flags.GetDouble("matcher-latency-scale");
+  options.matcher_queue_depth = static_cast<int>(flags.GetInt("matcher-queue-depth"));
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
   std::vector<std::string> systems;
@@ -182,12 +188,15 @@ int main(int argc, char** argv) {
       config.cache_policy = spec.cache_policy;
       config.preload_all = spec.preload_all;
       config.seed = options.seed;
+      config.matcher_latency_scale = options.matcher_latency_scale;
+      config.matcher_queue_depth = options.matcher_queue_depth;
       ServingEngine engine(options.model, config, spec.policy.get());
       for (const Request& request : csv_requests) {
         engine.ServeRequest(request);
       }
       ExperimentResult result;
       result.system = system;
+      result.deferred = engine.metrics().deferred();
       result.mean_ttft = engine.metrics().MeanTtft();
       result.mean_tpot = engine.metrics().MeanTpot();
       result.hit_rate = engine.metrics().HitRate();

@@ -376,6 +376,97 @@ TEST(ServingEngineTest, LowPrecisionHitsCounted) {
   EXPECT_LE(engine.metrics().LowPrecisionShare(), 1.0);
 }
 
+TEST(ServingEngineTest, EvictingQueuedPrefetchCancelsItsTransfer) {
+  OnDemandOptions od;
+  od.expert_agnostic = false;
+  OnDemandPolicy policy(od);
+  // Two-expert cache on a single device/link. Pin cap = capacity / (2 * expert_bytes) = 1,
+  // so the first prefetch pins and later ones stay evictable while queued.
+  EngineConfig config = SmallEngine(Tiny().expert_bytes * 2);
+  config.gpu_count = 1;
+  ServingEngine engine(Tiny(), config, &policy);
+  const PcieLink& link = engine.cluster().device(0).link();
+  EngineHandle& handle = engine;
+
+  handle.PrefetchAsync(ExpertId{0, 0}, 0.9, 1.0);  // Pinned; starts on the idle link.
+  handle.PrefetchAsync(ExpertId{0, 1}, 0.5, 0.9);  // Unpinned; queued behind it.
+  EXPECT_EQ(link.queued_prefetch_count(), 1u);
+  EXPECT_EQ(link.prefetch_count(), 1u);
+  EXPECT_TRUE(engine.TransferTagsConsistent());
+
+  // A third prefetch must evict {0,1} (the only unpinned entry) while its transfer is still
+  // queued: CleanupEvicted cancels the queued transfer rather than leaking it on the link.
+  handle.PrefetchAsync(ExpertId{0, 2}, 0.8, 0.8);
+  EXPECT_FALSE(handle.IsCached(ExpertId{0, 1}));
+  EXPECT_TRUE(handle.IsCached(ExpertId{0, 0}));
+  EXPECT_TRUE(handle.IsCached(ExpertId{0, 2}));
+  EXPECT_EQ(link.queued_prefetch_count(), 1u) << "victim's transfer cancelled, new one queued";
+  EXPECT_EQ(link.prefetch_count(), 1u) << "the cancelled transfer never started";
+  EXPECT_TRUE(engine.TransferTagsConsistent());
+  EXPECT_EQ(engine.cache().used_bytes(), Tiny().expert_bytes * 2);
+  EXPECT_EQ(engine.cluster().total_used_bytes(), Tiny().expert_bytes * 2)
+      << "CleanupEvicted must return the victim's device memory";
+}
+
+TEST(ServingEngineTest, DemandLoadPromotesQueuedPrefetchAndCancelsIt) {
+  OnDemandOptions od;
+  od.expert_agnostic = false;
+  OnDemandPolicy policy(od);
+  EngineConfig config = SmallEngine(Tiny().expert_bytes * 4);
+  config.gpu_count = 1;
+  ServingEngine engine(Tiny(), config, &policy);
+  const PcieLink& link = engine.cluster().device(0).link();
+  EngineHandle& handle = engine;
+
+  handle.PrefetchAsync(ExpertId{0, 0}, 0.9, 1.0);  // Starts immediately (idle link).
+  handle.PrefetchAsync(ExpertId{0, 1}, 0.5, 0.9);  // Queued behind the in-flight transfer.
+  EXPECT_EQ(link.queued_prefetch_count(), 1u);
+
+  // Demand-loading an expert whose prefetch has not started cancels the queued transfer and
+  // reissues it as a demand load that jumps the queue.
+  handle.BlockingLoad(ExpertId{0, 1}, 0.95);
+  EXPECT_TRUE(engine.TransferTagsConsistent());
+  const CacheEntry* entry = engine.cache().Find(Tiny().FlatIndex(ExpertId{0, 1}));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->prefetch_pending);
+  EXPECT_EQ(entry->transfer_tag, 0u);
+  EXPECT_LE(entry->ready_at, engine.now());
+  EXPECT_DOUBLE_EQ(entry->probability, 0.95);
+  EXPECT_EQ(link.demand_load_count(), 1u);
+}
+
+TEST(ServingEngineTest, ResidentReducedPrecisionCopyIsNotUpgraded) {
+  OnDemandOptions od;
+  od.expert_agnostic = false;
+  OnDemandPolicy policy(od);
+  EngineConfig config = SmallEngine(Tiny().expert_bytes * 8);
+  config.gpu_count = 1;
+  ServingEngine engine(Tiny(), config, &policy);
+  const PcieLink& link = engine.cluster().device(0).link();
+  EngineHandle& handle = engine;
+
+  handle.PrefetchAsyncSized(ExpertId{1, 0}, 0.3, 1.0, 0.5);
+  const uint64_t key = Tiny().FlatIndex(ExpertId{1, 0});
+  const CacheEntry* entry = engine.cache().Find(key);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->reduced_precision);
+  EXPECT_EQ(entry->bytes, Tiny().expert_bytes / 2);
+  EXPECT_EQ(link.prefetch_count(), 1u);
+  EXPECT_EQ(link.total_prefetch_bytes(), Tiny().expert_bytes / 2);
+
+  // A later full-precision prefetch of the same expert only restamps the probability: the
+  // resident half-size copy is already servable, so no second transfer is issued.
+  handle.PrefetchAsync(ExpertId{1, 0}, 0.9, 1.0);
+  entry = engine.cache().Find(key);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->reduced_precision) << "upgrade must wait for natural eviction";
+  EXPECT_EQ(entry->bytes, Tiny().expert_bytes / 2);
+  EXPECT_DOUBLE_EQ(entry->probability, 0.9);
+  EXPECT_EQ(link.prefetch_count(), 1u) << "no re-transfer for a resident copy";
+  EXPECT_EQ(link.total_prefetch_bytes(), Tiny().expert_bytes / 2);
+  EXPECT_EQ(engine.cache().used_bytes(), Tiny().expert_bytes / 2);
+}
+
 TEST(ServingEngineTest, LosslessDefaultNeverServesLowPrecision) {
   FmoeOptions options;
   options.store_capacity = 64;  // low_precision_threshold defaults to 0 (off).

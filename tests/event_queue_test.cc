@@ -1,0 +1,207 @@
+// Property tests for the deterministic virtual-time event queue backing the deferred-work
+// pipeline: nondecreasing pop times, strict FIFO tie-breaking, insertion-order independence
+// for distinct due times, and cancellation (by sequence and oldest-first).
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/memsim/event_queue.h"
+#include "src/util/rng.h"
+
+namespace fmoe {
+namespace {
+
+TEST(EventQueueTest, PopsInDueOrder) {
+  EventQueue<int> queue;
+  queue.Push(3.0, 30);
+  queue.Push(1.0, 10);
+  queue.Push(2.0, 20);
+
+  EventQueue<int>::Event event;
+  ASSERT_TRUE(queue.PopNext(&event));
+  EXPECT_EQ(event.payload, 10);
+  ASSERT_TRUE(queue.PopNext(&event));
+  EXPECT_EQ(event.payload, 20);
+  ASSERT_TRUE(queue.PopNext(&event));
+  EXPECT_EQ(event.payload, 30);
+  EXPECT_FALSE(queue.PopNext(&event));
+}
+
+TEST(EventQueueTest, EqualDueTimesPopInInsertionOrder) {
+  EventQueue<int> queue;
+  for (int i = 0; i < 16; ++i) {
+    queue.Push(5.0, i);
+  }
+  EventQueue<int>::Event event;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(queue.PopNext(&event));
+    EXPECT_EQ(event.payload, i) << "FIFO tie-break violated at position " << i;
+  }
+}
+
+TEST(EventQueueTest, PopDueRespectsNow) {
+  EventQueue<int> queue;
+  queue.Push(1.0, 1);
+  queue.Push(2.0, 2);
+  queue.Push(3.0, 3);
+
+  EventQueue<int>::Event event;
+  EXPECT_FALSE(queue.PopDue(0.5, &event));
+  ASSERT_TRUE(queue.PopDue(2.0, &event));
+  EXPECT_EQ(event.payload, 1);
+  ASSERT_TRUE(queue.PopDue(2.0, &event));
+  EXPECT_EQ(event.payload, 2);
+  EXPECT_FALSE(queue.PopDue(2.0, &event));
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueTest, SequenceNumbersAreStrictlyIncreasing) {
+  EventQueue<int> queue;
+  uint64_t previous = 0;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t seq = queue.Push(static_cast<double>(i % 7), i);
+    EXPECT_GT(seq, previous);
+    previous = seq;
+  }
+}
+
+TEST(EventQueueTest, CancelRemovesEventAndReturnsPayload) {
+  EventQueue<std::string> queue;
+  const uint64_t seq = queue.Push(1.0, "victim");
+  queue.Push(2.0, "survivor");
+
+  std::string payload;
+  ASSERT_TRUE(queue.Cancel(seq, &payload));
+  EXPECT_EQ(payload, "victim");
+  EXPECT_FALSE(queue.Cancel(seq)) << "double cancel must fail";
+
+  EventQueue<std::string>::Event event;
+  ASSERT_TRUE(queue.PopNext(&event));
+  EXPECT_EQ(event.payload, "survivor");
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, CancelOldestDropsLowestSequence) {
+  EventQueue<int> queue;
+  queue.Push(9.0, 1);  // Oldest by sequence, latest by due time.
+  queue.Push(1.0, 2);
+  queue.Push(5.0, 3);
+
+  int payload = 0;
+  uint64_t seq = 0;
+  ASSERT_TRUE(queue.CancelOldest(&payload, &seq));
+  EXPECT_EQ(payload, 1);
+  EXPECT_EQ(seq, 1u);
+
+  EventQueue<int>::Event event;
+  ASSERT_TRUE(queue.PopNext(&event));
+  EXPECT_EQ(event.payload, 2);
+  ASSERT_TRUE(queue.PopNext(&event));
+  EXPECT_EQ(event.payload, 3);
+  EXPECT_FALSE(queue.CancelOldest(&payload, &seq));
+}
+
+TEST(EventQueueTest, PeekNextDueTracksEarliestLiveEvent) {
+  EventQueue<int> queue;
+  double due = 0.0;
+  EXPECT_FALSE(queue.PeekNextDue(&due));
+  const uint64_t early = queue.Push(1.0, 1);
+  queue.Push(4.0, 2);
+  ASSERT_TRUE(queue.PeekNextDue(&due));
+  EXPECT_DOUBLE_EQ(due, 1.0);
+  ASSERT_TRUE(queue.Cancel(early));
+  ASSERT_TRUE(queue.PeekNextDue(&due));
+  EXPECT_DOUBLE_EQ(due, 4.0);
+}
+
+// With distinct due times the pop sequence is a pure function of the event set — any
+// insertion order (and any seed generating the shuffle) produces the same order.
+class EventQueueShuffleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EventQueueShuffleTest, PopOrderIndependentOfInsertionOrder) {
+  // Distinct due times: id i becomes due at a unique, irregular instant.
+  std::vector<std::pair<double, int>> events;
+  for (int i = 0; i < 64; ++i) {
+    events.emplace_back(static_cast<double>((i * 37) % 64) + 0.25 * i / 64.0, i);
+  }
+  const std::vector<std::pair<double, int>> reference = [&events] {
+    std::vector<std::pair<double, int>> sorted = events;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  }();
+
+  // Deterministic Fisher-Yates with the param seed.
+  Rng rng(GetParam());
+  for (size_t i = events.size(); i > 1; --i) {
+    std::swap(events[i - 1], events[rng.NextBounded(i)]);
+  }
+
+  EventQueue<int> queue;
+  for (const auto& [due, id] : events) {
+    queue.Push(due, id);
+  }
+  double previous = -1.0;
+  EventQueue<int>::Event event;
+  for (const auto& [due, id] : reference) {
+    ASSERT_TRUE(queue.PopNext(&event));
+    EXPECT_DOUBLE_EQ(event.due, due);
+    EXPECT_EQ(event.payload, id);
+    EXPECT_GE(event.due, previous) << "pop times must be nondecreasing";
+    previous = event.due;
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueShuffleTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+// Random workload: interleaved pushes, cancels, and due-bounded pops never violate time
+// monotonicity within a drain and always agree with a naive model of the live set.
+class EventQueueRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EventQueueRandomTest, RandomOpsKeepOrderingAndCounts) {
+  Rng rng(GetParam());
+  EventQueue<int> queue;
+  std::map<uint64_t, double> model;  // seq -> due, mirroring the queue's live set.
+
+  for (int step = 0; step < 500; ++step) {
+    const uint64_t op = rng.NextBounded(4);
+    if (op <= 1) {  // Push (twice as likely, so the queue grows).
+      const double due = rng.NextUniform(0.0, 100.0);
+      model.emplace(queue.Push(due, step), due);
+    } else if (op == 2 && !model.empty()) {  // Cancel a random live event.
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.NextBounded(model.size())));
+      EXPECT_TRUE(queue.Cancel(it->first));
+      model.erase(it);
+    } else {  // Drain everything due before a random instant.
+      const double now = rng.NextUniform(0.0, 100.0);
+      double previous = -1.0;
+      EventQueue<int>::Event event;
+      while (queue.PopDue(now, &event)) {
+        EXPECT_LE(event.due, now);
+        EXPECT_GE(event.due, previous) << "pop times must be nondecreasing within a drain";
+        previous = event.due;
+        const auto it = model.find(event.seq);
+        ASSERT_NE(it, model.end());
+        EXPECT_DOUBLE_EQ(it->second, event.due);
+        model.erase(it);
+      }
+      // Everything still live must genuinely be after `now`.
+      for (const auto& [seq, due] : model) {
+        EXPECT_GT(due, now);
+      }
+    }
+    EXPECT_EQ(queue.size(), model.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueRandomTest, ::testing::Values(3u, 17u, 2026u));
+
+}  // namespace
+}  // namespace fmoe

@@ -74,6 +74,23 @@ class FakeEngine : public EngineHandle {
     async_work[static_cast<size_t>(category)] += seconds;
   }
 
+  // Records the publish, then applies inline via the EngineHandle default (the fake models an
+  // instantaneous matcher worker — matcher_latency_scale == 0 semantics).
+  uint64_t PublishDeferred(OverheadCategory category, PublishMode mode, double cost_seconds,
+                           uint64_t topic, DeferredApply apply) override {
+    publishes.push_back(PublishCall{category, mode, cost_seconds, topic, apply != nullptr});
+    return EngineHandle::PublishDeferred(category, mode, cost_seconds, topic,
+                                         std::move(apply));
+  }
+
+  struct PublishCall {
+    OverheadCategory category;
+    PublishMode mode;
+    double cost_seconds;
+    uint64_t topic;
+    bool had_apply;
+  };
+  std::vector<PublishCall> publishes;
   std::vector<PrefetchCall> prefetches;
   std::vector<LoadCall> blocking_loads;
   std::vector<LoadCall> stamped;

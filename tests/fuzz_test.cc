@@ -1,5 +1,6 @@
 // Randomized model-checking tests: drive the expert cache and the PCIe link with long random
 // operation sequences and verify them against simple reference models / global invariants.
+#include <cmath>
 #include <map>
 #include <optional>
 #include <set>
@@ -8,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include "src/cache/expert_cache.h"
+#include "src/core/fmoe_policy.h"
 #include "src/memsim/link.h"
+#include "src/serving/engine.h"
 #include "src/util/rng.h"
+#include "src/workload/workload.h"
 
 namespace fmoe {
 namespace {
@@ -192,6 +196,81 @@ TEST_P(LinkFuzzTest, ScheduleInvariantsHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LinkFuzzTest, ::testing::Values(2u, 33u, 555u, 98765u));
+
+// ---------------------------------------------------------------------------
+// Full-engine invariants under randomized asynchronous-pipeline knobs: whatever the matcher
+// latency scale and queue depth, the cache never overflows, transfer-tag bookkeeping stays
+// consistent, virtual time only moves forward, and the deferred counters balance.
+
+class EngineFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineFuzzTest, RandomAsyncKnobsPreserveEngineInvariants) {
+  Rng rng(GetParam());
+  const ModelConfig model = TinyTestConfig();
+  const double kScales[] = {0.0, 0.25, 1.0, 16.0, 1024.0};
+
+  for (int round = 0; round < 6; ++round) {
+    EngineConfig config;
+    config.prefetch_distance = 1 + static_cast<int>(rng.NextBounded(3));
+    config.expert_cache_bytes = model.expert_bytes * (2 + rng.NextBounded(12));
+    config.cache_policy = "fMoE-PriorityLFU";
+    config.gpu_count = 1 + static_cast<int>(rng.NextBounded(3));
+    config.matcher_latency_scale = kScales[rng.NextBounded(5)];
+    config.matcher_queue_depth = 1 + static_cast<int>(rng.NextBounded(48));
+
+    FmoeOptions options;
+    options.store_capacity = 32;
+    FmoePolicy policy(model, config.prefetch_distance, options);
+    ServingEngine engine(model, config, &policy);
+
+    double last_now = 0.0;
+    for (uint64_t r = 0; r < 6; ++r) {
+      Request request;
+      request.id = static_cast<uint64_t>(round) * 100 + r;
+      request.routing.cluster = static_cast<int>(rng.NextBounded(4));
+      request.routing.blend_cluster = request.routing.cluster;
+      request.routing.seed = request.id * 7919 + 13;
+      request.prompt_tokens = 4 + static_cast<int>(rng.NextBounded(24));
+      request.decode_tokens = static_cast<int>(rng.NextBounded(8));
+      engine.ServeRequest(request);
+
+      ASSERT_LE(engine.cache().used_bytes(), engine.cache().capacity_bytes());
+      ASSERT_TRUE(engine.TransferTagsConsistent());
+      ASSERT_GE(engine.now(), last_now);
+      last_now = engine.now();
+      ASSERT_LE(engine.PendingDeferredJobs(),
+                static_cast<size_t>(config.matcher_queue_depth));
+      for (const uint64_t key : engine.cache().Keys()) {
+        const CacheEntry* entry = engine.cache().Find(key);
+        ASSERT_NE(entry, nullptr);
+        // A live entry is either awaiting its queued transfer (tagged) or fully scheduled
+        // (untagged, with a concrete ready time) — never a tagged non-pending orphan.
+        ASSERT_EQ(entry->prefetch_pending, entry->transfer_tag != 0) << "key " << key;
+        if (!entry->prefetch_pending) {
+          ASSERT_TRUE(std::isfinite(entry->ready_at))
+              << "scheduled entry must have a finite ready time";
+        }
+      }
+    }
+
+    const RunMetrics& metrics = engine.metrics();
+    const DeferredPipelineStats& deferred = metrics.deferred();
+    EXPECT_EQ(deferred.applied + deferred.superseded + deferred.dropped + deferred.blocking +
+                  engine.PendingDeferredJobs(),
+              deferred.published)
+        << "every published job must be applied, superseded, dropped, or still pending";
+    if (config.matcher_latency_scale == 0.0) {
+      EXPECT_EQ(engine.PendingDeferredJobs(), 0u) << "scale 0 applies every job inline";
+    }
+    uint64_t per_iteration = 0;
+    for (const IterationRecord& record : metrics.iteration_records()) {
+      per_iteration += record.hits + record.misses;
+    }
+    EXPECT_EQ(per_iteration, metrics.expert_hits() + metrics.expert_misses());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest, ::testing::Values(5u, 77u, 4242u, 31337u));
 
 }  // namespace
 }  // namespace fmoe

@@ -1,0 +1,98 @@
+// Golden-metrics regression test: runs the paper's five systems on a small Mixtral
+// configuration at a fixed seed and pins the complete report JSON — every latency, hit rate,
+// breakdown component, and deferred-pipeline counter — against checked-in goldens. Any change
+// to engine timing, policy decisions, or report formatting shows up as a byte-level diff.
+//
+// Updating goldens after an *intentional* behaviour change:
+//
+//   FMOE_UPDATE_GOLDENS=1 ./build/tests/golden_metrics_test
+//
+// then inspect `git diff tests/golden/` and commit the new files with the change that
+// explains them. The test fails (rather than silently passing) on the update run.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/harness/report.h"
+#include "src/harness/systems.h"
+
+namespace fmoe {
+namespace {
+
+#ifndef FMOE_GOLDEN_DIR
+#error "FMOE_GOLDEN_DIR must point at tests/golden (set in tests/CMakeLists.txt)"
+#endif
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(FMOE_GOLDEN_DIR) + "/" + name;
+}
+
+// Small but non-trivial: full Mixtral layer/expert geometry, enough requests for prefill +
+// decode + cache churn, small store so matching runs against real contents. Runtime ~1 s.
+ExperimentOptions GoldenOptions() {
+  ExperimentOptions options;
+  options.model = MixtralConfig();
+  options.dataset = LmsysLikeProfile();
+  options.history_requests = 10;
+  options.test_requests = 6;
+  options.max_decode_tokens = 8;
+  options.store_capacity = 64;
+  options.prefetch_distance = 3;
+  options.cache_fraction = 0.22;
+  options.seed = 42;
+  return options;
+}
+
+std::string RenderReport(const std::vector<ExperimentResult>& results) {
+  std::ostringstream out;
+  WriteResultsJson(results, /*include_latencies=*/true, out);
+  return out.str();
+}
+
+void CompareOrUpdate(const std::string& golden_name, const std::string& actual) {
+  const std::string path = GoldenPath(golden_name);
+  if (std::getenv("FMOE_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    out.close();
+    FAIL() << "updated golden " << path << " — inspect `git diff tests/golden/`, commit, and "
+           << "re-run without FMOE_UPDATE_GOLDENS";
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << "; generate it with FMOE_UPDATE_GOLDENS=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "report JSON drifted from " << path << ". If the change is intentional, regenerate "
+      << "with FMOE_UPDATE_GOLDENS=1 and commit the diff.";
+}
+
+TEST(GoldenMetricsTest, FiveSystemsOfflineMixtralSmall) {
+  std::vector<ExperimentResult> results;
+  for (const std::string& system : PaperSystemNames()) {
+    results.push_back(RunOffline(system, GoldenOptions()));
+  }
+  CompareOrUpdate("offline_mixtral_small.json", RenderReport(results));
+}
+
+// Same workload with the background matcher at modeled speed: pins the asynchronous
+// pipeline's timing (deferred counters, queue waits, decision latencies) — the half of the
+// system the scale-0 golden cannot see.
+TEST(GoldenMetricsTest, FmoeAsyncPipelineMixtralSmall) {
+  ExperimentOptions options = GoldenOptions();
+  options.matcher_latency_scale = 1.0;
+  std::vector<ExperimentResult> results;
+  results.push_back(RunOffline("fMoE", options));
+  results.push_back(RunOffline("ProMoE", options));
+  CompareOrUpdate("offline_mixtral_async_scale1.json", RenderReport(results));
+}
+
+}  // namespace
+}  // namespace fmoe
