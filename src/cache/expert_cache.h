@@ -4,14 +4,24 @@
 // occupy, and who to evict when a new expert must fit. All *policy* (what to prefetch, which
 // probabilities to stamp on entries) lives in the offloading policies; all *timing* (when a
 // transfer completes) lives in the memsim link — the cache stores the resulting ready_at.
+//
+// Storage is slot-based structure-of-arrays: every per-entry field lives in its own parallel
+// array indexed by a dense slot handle, slots recycle through a free list, and an
+// open-addressed hash table maps keys to slots. Victim selection is O(log n) amortized via
+// two lazy-invalidation min-heaps of (primary, iteration-order label) index keys — see
+// DESIGN.md for the full scheme (frozen/active split, epoch-based lazy decay, floor-crossing
+// schedule, order oracle). The semantics, including tie-breaking under equal eviction scores
+// and the exact floating-point trajectory of decayed frequencies, are bit-identical to the
+// naive linear-scan implementation preserved in reference_cache.h.
 #ifndef FMOE_SRC_CACHE_EXPERT_CACHE_H_
 #define FMOE_SRC_CACHE_EXPERT_CACHE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/cache/eviction_policy.h"
+#include "src/cache/order_oracle.h"
 
 namespace fmoe {
 
@@ -21,19 +31,92 @@ struct CacheStats {
   uint64_t rejected_insertions = 0;  // Did not fit even after evicting all unpinned entries.
 };
 
+// Instrumentation for the indexed eviction structure. Tests and bench_cache use these to
+// verify the steady-state complexity claims (no per-decay O(n) sweeps, bounded heap growth)
+// without timing anything.
+struct CacheIndexStats {
+  uint64_t heap_pushes = 0;
+  uint64_t heap_pops = 0;       // Stale nodes discarded + candidates examined during picks.
+  uint64_t heap_rebuilds = 0;   // Compactions and rebuilds forced by relabels/rebases.
+  uint64_t rebases = 0;         // Epoch-log folds (factor change, horizon, underflow guard).
+  uint64_t decay_calls = 0;
+  uint64_t crossing_fires = 0;  // Active entries frozen at their precomputed floor epoch.
+  uint64_t victim_picks = 0;
+};
+
+class ExpertCache;
+
+// Accessor handle for one resident entry (the SoA layout has no per-entry struct to point
+// at). Invalidated by Insert/Remove, like the old CacheEntry pointer. Setters route
+// score-relevant writes (probability) through the eviction index; transfer bookkeeping
+// writes are index-neutral.
+class EntryRef {
+ public:
+  EntryRef() = default;
+  explicit operator bool() const { return cache_ != nullptr; }
+
+  uint64_t key() const;
+  uint64_t bytes() const;
+  double ready_at() const;
+  double last_access() const;
+  double frequency() const;  // Fully materialized (all pending decay folded in).
+  double probability() const;
+  int pin_count() const;
+  bool prefetch_pending() const;
+  uint64_t transfer_tag() const;
+  bool reduced_precision() const;
+
+  void set_ready_at(double t);
+  void set_prefetch_pending(bool pending);
+  void set_transfer_tag(uint64_t tag);
+  void set_probability(double probability);
+
+ private:
+  friend class ExpertCache;
+  EntryRef(ExpertCache* cache, uint32_t slot) : cache_(cache), slot_(slot) {}
+  ExpertCache* cache_ = nullptr;
+  uint32_t slot_ = 0;
+};
+
+// Read-only variant of EntryRef for const cache access.
+class ConstEntryRef {
+ public:
+  ConstEntryRef() = default;
+  explicit operator bool() const { return cache_ != nullptr; }
+
+  uint64_t key() const;
+  uint64_t bytes() const;
+  double ready_at() const;
+  double last_access() const;
+  double frequency() const;
+  double probability() const;
+  int pin_count() const;
+  bool prefetch_pending() const;
+  uint64_t transfer_tag() const;
+  bool reduced_precision() const;
+
+ private:
+  friend class ExpertCache;
+  ConstEntryRef(const ExpertCache* cache, uint32_t slot) : cache_(cache), slot_(slot) {}
+  const ExpertCache* cache_ = nullptr;
+  uint32_t slot_ = 0;
+};
+
 class ExpertCache {
  public:
   ExpertCache(uint64_t capacity_bytes, const EvictionPolicy* policy);
 
   uint64_t capacity_bytes() const { return capacity_bytes_; }
   uint64_t used_bytes() const { return used_bytes_; }
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return occupied_; }
   const CacheStats& stats() const { return stats_; }
+  const CacheIndexStats& index_stats() const { return index_stats_; }
+  const IterationOrderOracle::Stats& order_stats() const { return oracle_.stats(); }
 
-  bool Contains(uint64_t key) const { return entries_.contains(key); }
-  // nullptr when absent. The pointer is invalidated by Insert/Remove.
-  CacheEntry* Find(uint64_t key);
-  const CacheEntry* Find(uint64_t key) const;
+  bool Contains(uint64_t key) const { return LookupSlot(key) != kNilSlot; }
+  // Invalid (false) ref when absent. Invalidated by Insert/Remove.
+  EntryRef Find(uint64_t key);
+  ConstEntryRef Find(uint64_t key) const;
 
   // Inserts an entry (evicting by policy as needed). On success the new entry is resident and
   // `evicted` (if non-null) receives the victims, which the caller must clean up (free GPU
@@ -55,24 +138,168 @@ class ExpertCache {
 
   // Ages all hit frequencies by `factor` in (0, 1]: freq *= factor. Without aging, LFU-style
   // policies entrench the first working set forever; the engine decays once per iteration.
+  // O(1) amortized: the factor is appended to an epoch log and folded into each entry's
+  // stored frequency lazily, in application order, so materialized values are bitwise
+  // identical to an eager per-entry sweep.
   void DecayFrequencies(double factor);
 
   // Keys ordered by descending eviction score (most evictable first); for tests/inspection.
   std::vector<uint64_t> EvictionOrder(double now) const;
 
-  // All resident keys (unordered).
+  // All resident keys, in the legacy hash-map iteration order.
   std::vector<uint64_t> Keys() const;
 
  private:
-  // Picks the unpinned entry with the highest eviction score; returns false if none.
-  bool PickVictim(double now, uint64_t* victim) const;
+  friend class EntryRef;
+  friend class ConstEntryRef;
+
+  static constexpr uint32_t kNilSlot = 0xffffffffu;
+  // Rebase (fold the epoch log into every entry) at this log length or when the cumulative
+  // decay product nears the subnormal range where normalized heap keys would lose precision.
+  static constexpr uint64_t kRebaseEpochLimit = 4096;
+  static constexpr double kRebaseProductFloor = 1e-250;
+
+  struct HeapNode {
+    double primary = 0.0;
+    uint64_t label = 0;
+    uint32_t slot = 0;
+    uint32_t gen = 0;
+  };
+  struct NodeAfter {  // Min-heap comparator: lowest (primary, label) on top.
+    bool operator()(const HeapNode& a, const HeapNode& b) const {
+      if (a.primary != b.primary) {
+        return a.primary > b.primary;
+      }
+      return a.label > b.label;
+    }
+  };
+  struct Candidate {
+    uint32_t slot = 0;
+    uint64_t label = 0;
+    double score = 0.0;
+  };
+
+  // --- Key -> slot open-addressed table (linear probing, backward-shift deletion). ---
+  uint32_t LookupSlot(uint64_t key) const;
+  void TableInsert(uint64_t key, uint32_t slot);
+  void TableErase(uint64_t key);
+  void TableGrow();
+
+  // --- Lazy decay. ---
+  // Folds the epoch log into the entry's stored frequency, factor by factor in application
+  // order (bitwise identical to eager repeated multiplication).
+  double MaterializedFrequency(uint32_t slot) const;
+  void MaterializeSlot(uint32_t slot);
+  CacheEntry MaterializedEntry(uint32_t slot) const;
+  // Materializes everything, clears the epoch log, rebuilds heaps and crossing schedule
+  // against the new normalization base and scheduling factor.
+  void Rebase(double factor);
+
+  // --- Eviction index. ---
+  void PushHeapNode(uint32_t slot);       // Materializes, indexes, lazily compacts.
+  void ScheduleCrossing(uint32_t slot);   // Precomputes the entry's floor-crossing epoch.
+  void RebuildHeaps();
+  double ExactScore(uint32_t slot, double now);
+  bool BestCandidate(std::vector<HeapNode>& heap, double now, Candidate* out);
+  bool PickVictim(double now, uint64_t* victim);
+
+  // --- Residency. ---
+  uint32_t AllocSlot();
+  void InsertResident(const CacheEntry& entry);
+  CacheEntry RemoveResident(uint64_t key);
 
   uint64_t capacity_bytes_;
   const EvictionPolicy* policy_;  // Not owned.
+  bool uses_frequency_ = false;
+  bool uses_probability_ = false;
   uint64_t used_bytes_ = 0;
-  std::unordered_map<uint64_t, CacheEntry> entries_;
+  size_t occupied_ = 0;
   CacheStats stats_;
+  CacheIndexStats index_stats_;
+
+  // Parallel per-slot field arrays.
+  std::vector<uint64_t> key_;
+  std::vector<uint64_t> bytes_;
+  std::vector<double> ready_at_;
+  std::vector<double> last_access_;
+  std::vector<double> freq_;
+  std::vector<double> prob_;
+  std::vector<uint64_t> epoch_;  // Absolute decay epoch freq_ is materialized at.
+  std::vector<int> pin_count_;
+  std::vector<uint64_t> transfer_tag_;
+  std::vector<uint8_t> occupied_flag_;
+  std::vector<uint8_t> prefetch_pending_;
+  std::vector<uint8_t> reduced_precision_;
+  std::vector<uint32_t> gen_;       // Bumped by any score-relevant event; heap node validity.
+  std::vector<uint32_t> freq_gen_;  // Bumped when the frequency trajectory changes; schedule validity.
+  std::vector<uint32_t> free_slots_;
+
+  // Open-addressed key -> slot table (power-of-two capacity).
+  std::vector<uint64_t> table_keys_;
+  std::vector<uint32_t> table_slots_;
+  size_t table_mask_ = 0;
+  size_t table_used_ = 0;
+
+  // Lazy decay state.
+  uint64_t decay_epoch_ = 0;
+  uint64_t base_epoch_ = 0;
+  std::vector<double> epoch_factors_;  // Factor applied at epoch base_epoch_ + i + 1.
+  double decay_product_ = 1.0;         // Product of epoch_factors_.
+  double inv_decay_ = 1.0;
+  double sched_factor_ = -1.0;  // Factor the crossing schedule assumes; < 0 = none seen yet.
+  // Epoch -> (slot, freq_gen) of active entries whose frequency plateaus at that epoch.
+  std::map<uint64_t, std::vector<std::pair<uint32_t, uint32_t>>> crossings_;
+
+  // Lazy-invalidation eviction heaps (min by (primary, label); stale gens dropped on pop).
+  std::vector<HeapNode> frozen_heap_;
+  std::vector<HeapNode> active_heap_;
+  std::vector<HeapNode> pick_scratch_;
+
+  IterationOrderOracle oracle_;
+  std::vector<CacheEntry> victims_scratch_;
 };
+
+// --- EntryRef / ConstEntryRef inline accessors (need the ExpertCache definition). ---
+
+inline uint64_t EntryRef::key() const { return cache_->key_[slot_]; }
+inline uint64_t EntryRef::bytes() const { return cache_->bytes_[slot_]; }
+inline double EntryRef::ready_at() const { return cache_->ready_at_[slot_]; }
+inline double EntryRef::last_access() const { return cache_->last_access_[slot_]; }
+inline double EntryRef::frequency() const { return cache_->MaterializedFrequency(slot_); }
+inline double EntryRef::probability() const { return cache_->prob_[slot_]; }
+inline int EntryRef::pin_count() const { return cache_->pin_count_[slot_]; }
+inline bool EntryRef::prefetch_pending() const {
+  return cache_->prefetch_pending_[slot_] != 0;
+}
+inline uint64_t EntryRef::transfer_tag() const { return cache_->transfer_tag_[slot_]; }
+inline bool EntryRef::reduced_precision() const {
+  return cache_->reduced_precision_[slot_] != 0;
+}
+inline void EntryRef::set_ready_at(double t) { cache_->ready_at_[slot_] = t; }
+inline void EntryRef::set_prefetch_pending(bool pending) {
+  cache_->prefetch_pending_[slot_] = pending ? 1 : 0;
+}
+inline void EntryRef::set_transfer_tag(uint64_t tag) { cache_->transfer_tag_[slot_] = tag; }
+inline void EntryRef::set_probability(double probability) {
+  cache_->SetProbability(cache_->key_[slot_], probability);
+}
+
+inline uint64_t ConstEntryRef::key() const { return cache_->key_[slot_]; }
+inline uint64_t ConstEntryRef::bytes() const { return cache_->bytes_[slot_]; }
+inline double ConstEntryRef::ready_at() const { return cache_->ready_at_[slot_]; }
+inline double ConstEntryRef::last_access() const { return cache_->last_access_[slot_]; }
+inline double ConstEntryRef::frequency() const {
+  return cache_->MaterializedFrequency(slot_);
+}
+inline double ConstEntryRef::probability() const { return cache_->prob_[slot_]; }
+inline int ConstEntryRef::pin_count() const { return cache_->pin_count_[slot_]; }
+inline bool ConstEntryRef::prefetch_pending() const {
+  return cache_->prefetch_pending_[slot_] != 0;
+}
+inline uint64_t ConstEntryRef::transfer_tag() const { return cache_->transfer_tag_[slot_]; }
+inline bool ConstEntryRef::reduced_precision() const {
+  return cache_->reduced_precision_[slot_] != 0;
+}
 
 }  // namespace fmoe
 

@@ -119,13 +119,21 @@ const double& GateSimulator::BaseLogit(int cluster, int layer, int expert) const
 
 std::vector<double> GateSimulator::Logits(const RequestRouting& routing, int iteration,
                                           int layer, uint64_t token_salt) const {
+  std::vector<double> logits;
+  LogitsInto(routing, iteration, layer, token_salt, &logits);
+  return logits;
+}
+
+void GateSimulator::LogitsInto(const RequestRouting& routing, int iteration, int layer,
+                               uint64_t token_salt, std::vector<double>* out) const {
   const int J = config_.experts_per_layer;
   const int rot = RotationOffset(iteration, layer);
   const int c0 = routing.cluster % profile_.num_clusters;
   const int c1 = routing.blend_cluster % profile_.num_clusters;
   const double w = Clip(routing.blend_weight, 0.0, 0.9);
 
-  std::vector<double> logits(static_cast<size_t>(J));
+  std::vector<double>& logits = *out;
+  logits.resize(static_cast<size_t>(J));
   for (int j = 0; j < J; ++j) {
     // The profile is indexed at (j - rot) mod J: the whole affinity pattern shifts by `rot`
     // experts at this iteration.
@@ -140,7 +148,6 @@ std::vector<double> GateSimulator::Logits(const RequestRouting& routing, int ite
         profile_.noise_scale * routing.noise_multiplier * HashedGaussian(key);
     logits[static_cast<size_t>(j)] = base + noise;
   }
-  return logits;
 }
 
 std::vector<double> GateSimulator::TokenDistribution(const RequestRouting& routing,
@@ -153,21 +160,29 @@ std::vector<double> GateSimulator::TokenDistribution(const RequestRouting& routi
 
 std::vector<double> GateSimulator::Distribution(const RequestRouting& routing, int iteration,
                                                 int layer) const {
+  std::vector<double> out;
+  DistributionInto(routing, iteration, layer, &out);
+  return out;
+}
+
+void GateSimulator::DistributionInto(const RequestRouting& routing, int iteration, int layer,
+                                     std::vector<double>* out) const {
   FMOE_CHECK(layer >= 0 && layer < config_.num_layers);
   FMOE_CHECK(iteration >= 0);
   if (iteration > 0) {
-    return TokenDistribution(routing, iteration, layer, /*token_salt=*/0);
+    LogitsInto(routing, iteration, layer, /*token_salt=*/0, out);
+    SoftmaxInPlace(*out, profile_.temperature);
+    return;
   }
   // Prefill: the recorded map entry is the mean gate output over sampled prompt tokens.
   const int samples = std::max(1, profile_.prefill_token_samples);
-  std::vector<double> mean(static_cast<size_t>(config_.experts_per_layer), 0.0);
+  out->assign(static_cast<size_t>(config_.experts_per_layer), 0.0);
   for (int t = 0; t < samples; ++t) {
     const std::vector<double> p =
         TokenDistribution(routing, iteration, layer, static_cast<uint64_t>(t) + 1);
-    AddInPlace(mean, p);
+    AddInPlace(*out, p);
   }
-  NormalizeInPlace(mean);
-  return mean;
+  NormalizeInPlace(*out);
 }
 
 std::vector<int> GateSimulator::ActivatedExperts(const RequestRouting& routing, int iteration,

@@ -68,6 +68,12 @@ class GateSimulator {
   std::vector<double> Distribution(const RequestRouting& routing, int iteration,
                                    int layer) const;
 
+  // Allocation-free Distribution for the decode path: `out` is overwritten (and only grows
+  // capacity once warm). The prefill aggregate still allocates per token sample — prefill is
+  // one iteration per request, not the steady state.
+  void DistributionInto(const RequestRouting& routing, int iteration, int layer,
+                        std::vector<double>* out) const;
+
   // Experts the gate actually activates. Decode iterations activate top-K of Distribution();
   // the prefill iteration activates the union of top-K over sampled prompt tokens, so it
   // touches more experts (prompt_tokens matters only when iteration == 0).
@@ -87,6 +93,8 @@ class GateSimulator {
   // token samples.
   std::vector<double> Logits(const RequestRouting& routing, int iteration, int layer,
                              uint64_t token_salt) const;
+  void LogitsInto(const RequestRouting& routing, int iteration, int layer, uint64_t token_salt,
+                  std::vector<double>* out) const;
   std::vector<double> TokenDistribution(const RequestRouting& routing, int iteration, int layer,
                                         uint64_t token_salt) const;
 

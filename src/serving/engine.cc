@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
+#include <utility>
 
 #include "src/util/logging.h"
 #include "src/util/math.h"
@@ -37,6 +37,8 @@ ServingEngine::ServingEngine(const ModelConfig& model, const EngineConfig& confi
   FMOE_CHECK(policy != nullptr);
   FMOE_CHECK(config.prefetch_distance >= 1);
   cluster_.SetPlacement(config.placement, static_cast<uint64_t>(model.total_experts()));
+  prefetch_pinned_by_layer_.resize(static_cast<size_t>(model.num_layers));
+  tokens_by_expert_.resize(static_cast<size_t>(model.experts_per_layer), 0);
   // Wire prefetch-start events from every device link back into cache bookkeeping.
   for (int dev = 0; dev < cluster_.device_count(); ++dev) {
     cluster_.device(dev).link().set_completion_callback(
@@ -73,11 +75,10 @@ void ServingEngine::OnTransferScheduled(int /*device*/, uint64_t tag, double com
   }
   const uint64_t key = it->second;
   transfer_key_by_tag_.erase(it);
-  CacheEntry* entry = cache_.Find(key);
-  if (entry != nullptr && entry->transfer_tag == tag) {
-    entry->ready_at = completion;
-    entry->prefetch_pending = false;
-    entry->transfer_tag = 0;
+  if (EntryRef entry = cache_.Find(key); entry && entry.transfer_tag() == tag) {
+    entry.set_ready_at(completion);
+    entry.set_prefetch_pending(false);
+    entry.set_transfer_tag(0);
   }
 }
 
@@ -102,11 +103,11 @@ void ServingEngine::PrefetchAsyncSized(ExpertId id, double probability, double /
   // PRI^prefetch = p / (l - l_now), §4.5).
   FMOE_CHECK(size_fraction > 0.0 && size_fraction <= 1.0);
   const uint64_t key = KeyOf(id);
-  if (CacheEntry* existing = cache_.Find(key)) {
+  if (EntryRef existing = cache_.Find(key)) {
     // Current guidance supersedes stale stamps. A resident reduced-precision copy is NOT
     // re-transferred at full precision here — upgrading would cost a full transfer for an
     // expert already servable; it upgrades naturally after eviction.
-    existing->probability = probability;
+    existing.set_probability(probability);
     return;
   }
   CacheEntry entry;
@@ -118,37 +119,40 @@ void ServingEngine::PrefetchAsyncSized(ExpertId id, double probability, double /
   entry.prefetch_pending = true;
   entry.probability = probability;
   entry.last_access = clock_.now();
-  const uint64_t tag = next_transfer_tag_++;
-  entry.transfer_tag = tag;
-  std::vector<CacheEntry> evicted;
-  if (!cache_.Insert(entry, clock_.now(), &evicted)) {
+  if (!cache_.Insert(entry, clock_.now(), &evicted_scratch_)) {
     return;  // No room (everything pinned or entry larger than the budget): skip prefetch.
   }
-  CleanupEvicted(evicted);
+  CleanupEvicted(evicted_scratch_);
   GpuDevice& device = cluster_.DeviceFor(key);
   const bool allocated = device.Allocate(entry.bytes);
   FMOE_CHECK_MSG(allocated, "GPU memory exhausted; configure devices >= cache budget");
+  // The transfer tag is only minted once the insert has succeeded, so rejected prefetches
+  // (everything pinned, budget too small) do not burn tag numbers.
+  const uint64_t tag = next_transfer_tag_++;
+  cache_.Find(key).set_transfer_tag(tag);
   transfer_key_by_tag_[tag] = key;
   // Hold the inbound expert until its layer runs: an eviction before first use would waste
   // the transfer and (for frequency-based policies) systematically victimise fresh entries.
   // Capped at half the cache so pins cannot starve residency on small budgets.
   const uint64_t max_pinned = cache_.capacity_bytes() / (2 * model_.expert_bytes);
-  if (prefetch_pinned_.size() < max_pinned) {
+  if (prefetch_pinned_count_ < max_pinned) {
     cache_.Pin(key);
-    prefetch_pinned_.insert(key);
+    prefetch_pinned_by_layer_[static_cast<size_t>(id.layer)].push_back(key);
+    ++prefetch_pinned_count_;
   }
   device.link().EnqueuePrefetch(clock_.now(), tag, entry.bytes);
 }
 
 void ServingEngine::ReleasePrefetchPins(int completed_layer) {
-  for (auto it = prefetch_pinned_.begin(); it != prefetch_pinned_.end();) {
-    const int layer = static_cast<int>(*it / static_cast<uint64_t>(model_.experts_per_layer));
-    if (completed_layer < 0 || layer <= completed_layer) {
-      cache_.Unpin(*it);
-      it = prefetch_pinned_.erase(it);
-    } else {
-      ++it;
+  const size_t limit = completed_layer < 0 ? prefetch_pinned_by_layer_.size()
+                                           : static_cast<size_t>(completed_layer) + 1;
+  for (size_t layer = 0; layer < limit; ++layer) {
+    std::vector<uint64_t>& pinned = prefetch_pinned_by_layer_[layer];
+    for (const uint64_t key : pinned) {
+      cache_.Unpin(key);
     }
+    prefetch_pinned_count_ -= pinned.size();
+    pinned.clear();
   }
 }
 
@@ -156,22 +160,22 @@ void ServingEngine::BlockingLoad(ExpertId id, double probability) {
   const uint64_t key = KeyOf(id);
   PcieLink& link = LinkFor(key);
   link.Tick(clock_.now());
-  CacheEntry* entry = cache_.Find(key);
+  EntryRef entry = cache_.Find(key);
   double ready = 0.0;
-  if (entry != nullptr && !entry->prefetch_pending) {
-    if (entry->ready_at <= clock_.now()) {
-      entry->probability = probability;
+  if (entry && !entry.prefetch_pending()) {
+    if (entry.ready_at() <= clock_.now()) {
+      entry.set_probability(probability);
       return;  // Already resident and ready.
     }
-    ready = entry->ready_at;  // In flight: wait for it.
-  } else if (entry != nullptr) {
+    ready = entry.ready_at();  // In flight: wait for it.
+  } else if (entry) {
     // Queued but not started: promote to a demand transfer.
-    link.CancelQueuedPrefetch(entry->transfer_tag);
-    transfer_key_by_tag_.erase(entry->transfer_tag);
-    entry->transfer_tag = 0;
-    ready = link.DemandLoad(clock_.now(), entry->bytes);
-    entry->ready_at = ready;
-    entry->prefetch_pending = false;
+    link.CancelQueuedPrefetch(entry.transfer_tag());
+    transfer_key_by_tag_.erase(entry.transfer_tag());
+    entry.set_transfer_tag(0);
+    ready = link.DemandLoad(clock_.now(), entry.bytes());
+    entry.set_ready_at(ready);
+    entry.set_prefetch_pending(false);
   } else {
     ready = link.DemandLoad(clock_.now(), model_.expert_bytes);
     CacheEntry fresh;
@@ -181,9 +185,8 @@ void ServingEngine::BlockingLoad(ExpertId id, double probability) {
     fresh.prefetch_pending = false;
     fresh.probability = probability;
     fresh.last_access = clock_.now();
-    std::vector<CacheEntry> evicted;
-    if (cache_.Insert(fresh, clock_.now(), &evicted)) {
-      CleanupEvicted(evicted);
+    if (cache_.Insert(fresh, clock_.now(), &evicted_scratch_)) {
+      CleanupEvicted(evicted_scratch_);
       const bool allocated = cluster_.DeviceFor(key).Allocate(model_.expert_bytes);
       FMOE_CHECK(allocated);
     }
@@ -192,8 +195,8 @@ void ServingEngine::BlockingLoad(ExpertId id, double probability) {
   clock_.AdvanceTo(ready);
   metrics_.breakdown().sync_overhead[static_cast<size_t>(OverheadCategory::kPrefetchIssue)] +=
       stall;
-  if (CacheEntry* resident = cache_.Find(key)) {
-    resident->probability = probability;
+  if (EntryRef resident = cache_.Find(key)) {
+    resident.set_probability(probability);
   }
 }
 
@@ -285,15 +288,15 @@ void ServingEngine::DrainDeferred() {
 
 bool ServingEngine::TransferTagsConsistent() const {
   for (const auto& [tag, key] : transfer_key_by_tag_) {
-    const CacheEntry* entry = cache_.Find(key);
-    if (entry == nullptr || entry->transfer_tag != tag || !entry->prefetch_pending) {
+    const ConstEntryRef entry = std::as_const(cache_).Find(key);
+    if (!entry || entry.transfer_tag() != tag || !entry.prefetch_pending()) {
       return false;
     }
   }
   for (const uint64_t key : cache_.Keys()) {
-    const CacheEntry* entry = cache_.Find(key);
-    if (entry->prefetch_pending && entry->transfer_tag != 0 &&
-        !transfer_key_by_tag_.contains(entry->transfer_tag)) {
+    const ConstEntryRef entry = std::as_const(cache_).Find(key);
+    if (entry.prefetch_pending() && entry.transfer_tag() != 0 &&
+        !transfer_key_by_tag_.contains(entry.transfer_tag())) {
       return false;
     }
   }
@@ -310,8 +313,8 @@ ServingEngine::ExpertJob ServingEngine::IssueExpert(ExpertId id, int tokens_rout
   job.tokens_routed = tokens_routed;
   job.ready_at = clock_.now();
 
-  CacheEntry* entry = cache_.Find(key);
-  if (entry == nullptr) {
+  EntryRef entry = cache_.Find(key);
+  if (!entry) {
     // Full miss: on-demand load. If the entry cannot be cached (budget smaller than one
     // expert, or everything pinned) the weights are streamed through a transient buffer —
     // the transfer cost is identical either way.
@@ -322,25 +325,24 @@ ServingEngine::ExpertJob ServingEngine::IssueExpert(ExpertId id, int tokens_rout
     fresh.ready_at = job.ready_at;
     fresh.prefetch_pending = false;
     fresh.last_access = clock_.now();
-    std::vector<CacheEntry> evicted;
-    if (cache_.Insert(fresh, clock_.now(), &evicted)) {
-      CleanupEvicted(evicted);
+    if (cache_.Insert(fresh, clock_.now(), &evicted_scratch_)) {
+      CleanupEvicted(evicted_scratch_);
       const bool allocated = cluster_.DeviceFor(key).Allocate(model_.expert_bytes);
       FMOE_CHECK(allocated);
     }
-  } else if (entry->prefetch_pending) {
+  } else if (entry.prefetch_pending()) {
     // Prefetch was enqueued but its transfer never started: promote to a demand load, which
     // jumps ahead of all queued prefetches ("pauses all expert prefetching tasks", §4.5).
-    link.CancelQueuedPrefetch(entry->transfer_tag);
-    transfer_key_by_tag_.erase(entry->transfer_tag);
-    entry->transfer_tag = 0;
-    job.ready_at = link.DemandLoad(clock_.now(), entry->bytes);
-    entry->ready_at = job.ready_at;
-    entry->prefetch_pending = false;
-  } else if (entry->ready_at > clock_.now()) {
+    link.CancelQueuedPrefetch(entry.transfer_tag());
+    transfer_key_by_tag_.erase(entry.transfer_tag());
+    entry.set_transfer_tag(0);
+    job.ready_at = link.DemandLoad(clock_.now(), entry.bytes());
+    entry.set_ready_at(job.ready_at);
+    entry.set_prefetch_pending(false);
+  } else if (entry.ready_at() > clock_.now()) {
     // Prefetch in flight but late: wait out the remainder. Still a miss by the paper's
     // definition (weights not available when the gate asked), but cheaper than a full load.
-    job.ready_at = entry->ready_at;
+    job.ready_at = entry.ready_at();
   } else {
     job.hit = true;
   }
@@ -362,8 +364,8 @@ void ServingEngine::CompleteExpert(const ExpertJob& job) {
   metrics_.breakdown().demand_stall += stall;
   if (job.hit) {
     metrics_.RecordHit();
-    if (const CacheEntry* entry = cache_.Find(key);
-        entry != nullptr && entry->reduced_precision) {
+    if (const ConstEntryRef entry = std::as_const(cache_).Find(key);
+        entry && entry.reduced_precision()) {
       metrics_.RecordLowPrecisionHit();
     }
   } else {
@@ -372,8 +374,9 @@ void ServingEngine::CompleteExpert(const ExpertJob& job) {
   if (job.resident) {
     cache_.Touch(key, clock_.now());
   }
-  metrics_.breakdown().expert_compute += cost_.ExpertComputeTime(job.tokens_routed);
-  clock_.Advance(cost_.ExpertComputeTime(job.tokens_routed));
+  const double compute_time = cost_.ExpertComputeTime(job.tokens_routed);
+  metrics_.breakdown().expert_compute += compute_time;
+  clock_.Advance(compute_time);
   if (job.resident) {
     cache_.Unpin(key);
   }
@@ -395,9 +398,9 @@ double ServingEngine::RunIteration(std::vector<BatchMember*>& active) {
     policy_->OnIterationStart(*this, member->context);
   }
 
-  std::vector<std::vector<std::vector<double>>> layer_probs(active.size());
-  for (auto& probs : layer_probs) {
-    probs.reserve(static_cast<size_t>(model_.num_layers));
+  layer_probs_.resize(active.size());
+  for (auto& probs : layer_probs_) {
+    probs.resize(static_cast<size_t>(model_.num_layers));
   }
 
   for (int layer = 0; layer < model_.num_layers; ++layer) {
@@ -413,43 +416,45 @@ double ServingEngine::RunIteration(std::vector<BatchMember*>& active) {
     // reach the links strictly later than their gate observation, never earlier.
     DrainDeferred();
 
-    // Gate outputs, policy hooks, and the union of activated experts with routed tokens.
-    std::map<int, int> tokens_by_expert;
+    // Gate outputs, policy hooks, and the union of activated experts with routed tokens
+    // (a dense per-expert count; experts are visited in ascending id order below, exactly
+    // the iteration order the old std::map produced).
+    std::fill(tokens_by_expert_.begin(), tokens_by_expert_.end(), 0);
     for (size_t m = 0; m < active.size(); ++m) {
       BatchMember* member = active[m];
       const RequestRouting& routing = member->request.routing;
       const int iteration = member->next_iteration;
       const bool is_prefill = iteration == 0;
-      std::vector<double> probs = gate_.Distribution(routing, iteration, layer);
-      std::vector<int> activated;
+      std::vector<double>& probs = layer_probs_[m][static_cast<size_t>(layer)];
+      gate_.DistributionInto(routing, iteration, layer, &probs);
       if (is_prefill) {
-        activated =
+        activated_ =
             gate_.ActivatedExperts(routing, iteration, layer, member->request.prompt_tokens);
       } else {
-        const std::vector<size_t> top =
-            TopKIndices(probs, static_cast<size_t>(model_.top_k));
-        activated.assign(top.begin(), top.end());
-        std::sort(activated.begin(), activated.end());
+        TopKIndicesInto(probs, static_cast<size_t>(model_.top_k), &top_scratch_);
+        activated_.assign(top_scratch_.begin(), top_scratch_.end());
+        std::sort(activated_.begin(), activated_.end());
       }
-      policy_->OnGateOutput(*this, member->context, layer, probs, activated);
+      policy_->OnGateOutput(*this, member->context, layer, probs, activated_);
       const int tokens_per_expert =
           is_prefill ? std::max(1, member->request.prompt_tokens * model_.top_k /
-                                       std::max<int>(1, static_cast<int>(activated.size())))
+                                       std::max<int>(1, static_cast<int>(activated_.size())))
                      : 1;
-      for (int expert : activated) {
-        tokens_by_expert[expert] += tokens_per_expert;
+      for (int expert : activated_) {
+        tokens_by_expert_[static_cast<size_t>(expert)] += tokens_per_expert;
       }
-      layer_probs[m].push_back(std::move(probs));
     }
 
     // Two-phase serving: issue every demand transfer first (they overlap across device
     // links), then wait-and-compute expert by expert.
-    std::vector<ExpertJob> jobs;
-    jobs.reserve(tokens_by_expert.size());
-    for (const auto& [expert, tokens] : tokens_by_expert) {
-      jobs.push_back(IssueExpert(ExpertId{layer, expert}, tokens));
+    jobs_.clear();
+    for (int expert = 0; expert < model_.experts_per_layer; ++expert) {
+      const int tokens = tokens_by_expert_[static_cast<size_t>(expert)];
+      if (tokens > 0) {
+        jobs_.push_back(IssueExpert(ExpertId{layer, expert}, tokens));
+      }
     }
-    for (const ExpertJob& job : jobs) {
+    for (const ExpertJob& job : jobs_) {
       CompleteExpert(job);
     }
     ReleasePrefetchPins(layer);
@@ -459,7 +464,7 @@ double ServingEngine::RunIteration(std::vector<BatchMember*>& active) {
   DrainDeferred();
 
   for (size_t m = 0; m < active.size(); ++m) {
-    policy_->OnIterationEnd(*this, active[m]->context, layer_probs[m]);
+    policy_->OnIterationEnd(*this, active[m]->context, layer_probs_[m]);
   }
   ReleasePrefetchPins(-1);
   cache_.DecayFrequencies(config_.frequency_decay);
@@ -546,16 +551,21 @@ std::vector<RequestMetrics> ServingEngine::ServeBatch(std::span<const Request> r
   }
   while (StepIteration()) {
   }
-  // Restore the caller's request order (members can finish out of order).
+  // Restore the caller's request order (members can finish out of order). The id -> index
+  // map keeps the first occurrence, matching the old first-match linear scan when request
+  // ids repeat.
   std::vector<RequestMetrics> drained = DrainCompleted();
+  std::unordered_map<uint64_t, size_t> index_by_id;
+  index_by_id.reserve(drained.size());
+  for (size_t i = 0; i < drained.size(); ++i) {
+    index_by_id.emplace(drained[i].request_id, i);
+  }
   std::vector<RequestMetrics> results;
   results.reserve(requests.size());
   for (const Request& request : requests) {
-    for (const RequestMetrics& metrics : drained) {
-      if (metrics.request_id == request.id) {
-        results.push_back(metrics);
-        break;
-      }
+    const auto it = index_by_id.find(request.id);
+    if (it != index_by_id.end()) {
+      results.push_back(drained[it->second]);
     }
   }
   FMOE_CHECK(results.size() == requests.size());

@@ -187,7 +187,20 @@ class ServingEngine : public EngineHandle {
   std::unordered_map<uint64_t, uint64_t> transfer_key_by_tag_;
   // Prefetched-but-not-yet-used experts are pinned (the runtime holds a reference to the
   // inbound buffer) and released when their target layer completes or the iteration ends.
-  std::set<uint64_t> prefetch_pinned_;
+  // Bucketed by target layer so releases touch only the completed layers' keys; a key appears
+  // at most once (resident keys never re-prefetch while pinned).
+  std::vector<std::vector<uint64_t>> prefetch_pinned_by_layer_;
+  size_t prefetch_pinned_count_ = 0;
+
+  // Iteration scratch buffers, reused across layers and iterations so the steady-state decode
+  // loop performs no heap allocation. layer_probs_[member][layer] doubles as the per-member
+  // gate-output history handed to OnIterationEnd.
+  std::vector<std::vector<std::vector<double>>> layer_probs_;
+  std::vector<int> tokens_by_expert_;  // Dense per-layer token counts, indexed by expert.
+  std::vector<int> activated_;
+  std::vector<size_t> top_scratch_;
+  std::vector<ExpertJob> jobs_;
+  std::vector<CacheEntry> evicted_scratch_;
 };
 
 }  // namespace fmoe

@@ -180,18 +180,23 @@ double NormalizedEntropy(std::span<const double> probs) {
 }
 
 std::vector<size_t> TopKIndices(std::span<const double> values, size_t k) {
+  std::vector<size_t> order;
+  TopKIndicesInto(values, k, &order);
+  return order;
+}
+
+void TopKIndicesInto(std::span<const double> values, size_t k, std::vector<size_t>* out) {
   k = std::min(k, values.size());
-  std::vector<size_t> order(values.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(k), order.end(),
+  out->resize(values.size());
+  std::iota(out->begin(), out->end(), size_t{0});
+  std::partial_sort(out->begin(), out->begin() + static_cast<ptrdiff_t>(k), out->end(),
                     [&](size_t a, size_t b) {
                       if (values[a] != values[b]) {
                         return values[a] > values[b];
                       }
                       return a < b;
                     });
-  order.resize(k);
-  return order;
+  out->resize(k);
 }
 
 std::vector<size_t> MassCoverIndices(std::span<const double> probs, double threshold,

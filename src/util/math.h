@@ -68,6 +68,9 @@ double NormalizedEntropy(std::span<const double> probs);
 // Indices of the k largest values, ordered by descending value (ties broken by lower index).
 std::vector<size_t> TopKIndices(std::span<const double> values, size_t k);
 
+// Allocation-free TopKIndices: `out` is overwritten with the result and only grows capacity.
+void TopKIndicesInto(std::span<const double> values, size_t k, std::vector<size_t>* out);
+
 // Smallest prefix of the descending-sorted distribution whose mass reaches `threshold`,
 // subject to returning at least `min_count` entries (capped at values.size()).
 // This is exactly fMoE's Eq. (6)-(8) expert selection operator.

@@ -426,12 +426,12 @@ TEST(ServingEngineTest, DemandLoadPromotesQueuedPrefetchAndCancelsIt) {
   // reissues it as a demand load that jumps the queue.
   handle.BlockingLoad(ExpertId{0, 1}, 0.95);
   EXPECT_TRUE(engine.TransferTagsConsistent());
-  const CacheEntry* entry = engine.cache().Find(Tiny().FlatIndex(ExpertId{0, 1}));
-  ASSERT_NE(entry, nullptr);
-  EXPECT_FALSE(entry->prefetch_pending);
-  EXPECT_EQ(entry->transfer_tag, 0u);
-  EXPECT_LE(entry->ready_at, engine.now());
-  EXPECT_DOUBLE_EQ(entry->probability, 0.95);
+  const ConstEntryRef entry = engine.cache().Find(Tiny().FlatIndex(ExpertId{0, 1}));
+  ASSERT_TRUE(static_cast<bool>(entry));
+  EXPECT_FALSE(entry.prefetch_pending());
+  EXPECT_EQ(entry.transfer_tag(), 0u);
+  EXPECT_LE(entry.ready_at(), engine.now());
+  EXPECT_DOUBLE_EQ(entry.probability(), 0.95);
   EXPECT_EQ(link.demand_load_count(), 1u);
 }
 
@@ -447,10 +447,10 @@ TEST(ServingEngineTest, ResidentReducedPrecisionCopyIsNotUpgraded) {
 
   handle.PrefetchAsyncSized(ExpertId{1, 0}, 0.3, 1.0, 0.5);
   const uint64_t key = Tiny().FlatIndex(ExpertId{1, 0});
-  const CacheEntry* entry = engine.cache().Find(key);
-  ASSERT_NE(entry, nullptr);
-  EXPECT_TRUE(entry->reduced_precision);
-  EXPECT_EQ(entry->bytes, Tiny().expert_bytes / 2);
+  ConstEntryRef entry = engine.cache().Find(key);
+  ASSERT_TRUE(static_cast<bool>(entry));
+  EXPECT_TRUE(entry.reduced_precision());
+  EXPECT_EQ(entry.bytes(), Tiny().expert_bytes / 2);
   EXPECT_EQ(link.prefetch_count(), 1u);
   EXPECT_EQ(link.total_prefetch_bytes(), Tiny().expert_bytes / 2);
 
@@ -458,10 +458,10 @@ TEST(ServingEngineTest, ResidentReducedPrecisionCopyIsNotUpgraded) {
   // resident half-size copy is already servable, so no second transfer is issued.
   handle.PrefetchAsync(ExpertId{1, 0}, 0.9, 1.0);
   entry = engine.cache().Find(key);
-  ASSERT_NE(entry, nullptr);
-  EXPECT_TRUE(entry->reduced_precision) << "upgrade must wait for natural eviction";
-  EXPECT_EQ(entry->bytes, Tiny().expert_bytes / 2);
-  EXPECT_DOUBLE_EQ(entry->probability, 0.9);
+  ASSERT_TRUE(static_cast<bool>(entry));
+  EXPECT_TRUE(entry.reduced_precision()) << "upgrade must wait for natural eviction";
+  EXPECT_EQ(entry.bytes(), Tiny().expert_bytes / 2);
+  EXPECT_DOUBLE_EQ(entry.probability(), 0.9);
   EXPECT_EQ(link.prefetch_count(), 1u) << "no re-transfer for a resident copy";
   EXPECT_EQ(link.total_prefetch_bytes(), Tiny().expert_bytes / 2);
   EXPECT_EQ(engine.cache().used_bytes(), Tiny().expert_bytes / 2);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 namespace fmoe {
 namespace {
 
@@ -26,8 +28,8 @@ TEST_F(ExpertCacheTest, InsertAndFind) {
   EXPECT_TRUE(cache.Contains(1));
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.used_bytes(), 10u);
-  ASSERT_NE(cache.Find(1), nullptr);
-  EXPECT_EQ(cache.Find(2), nullptr);
+  EXPECT_TRUE(static_cast<bool>(cache.Find(1)));
+  EXPECT_FALSE(static_cast<bool>(cache.Find(2)));
 }
 
 TEST_F(ExpertCacheTest, DuplicateInsertRejected) {
@@ -136,10 +138,10 @@ TEST_F(ExpertCacheTest, TouchBumpsFrequencyAndRecency) {
   cache.Insert(Entry(1), 0.0, nullptr);
   cache.Touch(1, 3.0);
   cache.Touch(1, 4.0);
-  const CacheEntry* entry = cache.Find(1);
-  ASSERT_NE(entry, nullptr);
-  EXPECT_DOUBLE_EQ(entry->frequency, 2.0);
-  EXPECT_DOUBLE_EQ(entry->last_access, 4.0);
+  const ConstEntryRef entry = std::as_const(cache).Find(1);
+  ASSERT_TRUE(static_cast<bool>(entry));
+  EXPECT_DOUBLE_EQ(entry.frequency(), 2.0);
+  EXPECT_DOUBLE_EQ(entry.last_access(), 4.0);
 }
 
 TEST_F(ExpertCacheTest, DecayFrequenciesAges) {
@@ -147,7 +149,7 @@ TEST_F(ExpertCacheTest, DecayFrequenciesAges) {
   cache.Insert(Entry(1), 0.0, nullptr);
   cache.Touch(1, 1.0);
   cache.DecayFrequencies(0.5);
-  EXPECT_DOUBLE_EQ(cache.Find(1)->frequency, 0.5);
+  EXPECT_DOUBLE_EQ(cache.Find(1).frequency(), 0.5);
 }
 
 TEST_F(ExpertCacheTest, SetProbabilityOnlyAffectsResident) {
@@ -155,7 +157,7 @@ TEST_F(ExpertCacheTest, SetProbabilityOnlyAffectsResident) {
   cache.Insert(Entry(1), 0.0, nullptr);
   cache.SetProbability(1, 0.42);
   cache.SetProbability(2, 0.99);  // Absent: silently ignored.
-  EXPECT_DOUBLE_EQ(cache.Find(1)->probability, 0.42);
+  EXPECT_DOUBLE_EQ(cache.Find(1).probability(), 0.42);
 }
 
 TEST_F(ExpertCacheTest, LfuEvictsLeastFrequent) {

@@ -112,11 +112,11 @@ TEST_P(CacheFuzzTest, MatchesReferenceModelUnderRandomOps) {
     ASSERT_EQ(cache.used_bytes(), reference_bytes);
     ASSERT_LE(cache.used_bytes(), capacity);
     for (const auto& [ref_key, ref_entry] : reference) {
-      const CacheEntry* entry = cache.Find(ref_key);
-      ASSERT_NE(entry, nullptr);
-      ASSERT_EQ(entry->bytes, ref_entry.bytes);
-      ASSERT_EQ(entry->pin_count, ref_entry.pins);
-      ASSERT_GE(entry->frequency, 0.0);
+      const ConstEntryRef entry = std::as_const(cache).Find(ref_key);
+      ASSERT_TRUE(static_cast<bool>(entry));
+      ASSERT_EQ(entry.bytes(), ref_entry.bytes);
+      ASSERT_EQ(entry.pin_count(), ref_entry.pins);
+      ASSERT_GE(entry.frequency(), 0.0);
     }
   }
   // Drain pins so the fixture ends in a clean state.
@@ -241,13 +241,13 @@ TEST_P(EngineFuzzTest, RandomAsyncKnobsPreserveEngineInvariants) {
       ASSERT_LE(engine.PendingDeferredJobs(),
                 static_cast<size_t>(config.matcher_queue_depth));
       for (const uint64_t key : engine.cache().Keys()) {
-        const CacheEntry* entry = engine.cache().Find(key);
-        ASSERT_NE(entry, nullptr);
+        const ConstEntryRef entry = engine.cache().Find(key);
+        ASSERT_TRUE(static_cast<bool>(entry));
         // A live entry is either awaiting its queued transfer (tagged) or fully scheduled
         // (untagged, with a concrete ready time) — never a tagged non-pending orphan.
-        ASSERT_EQ(entry->prefetch_pending, entry->transfer_tag != 0) << "key " << key;
-        if (!entry->prefetch_pending) {
-          ASSERT_TRUE(std::isfinite(entry->ready_at))
+        ASSERT_EQ(entry.prefetch_pending(), entry.transfer_tag() != 0) << "key " << key;
+        if (!entry.prefetch_pending()) {
+          ASSERT_TRUE(std::isfinite(entry.ready_at()))
               << "scheduled entry must have a finite ready time";
         }
       }
