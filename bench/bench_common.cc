@@ -1,0 +1,78 @@
+#include "bench/bench_common.h"
+
+#include <fstream>
+
+#include "src/util/flags.h"
+
+namespace fmoe {
+namespace bench {
+
+bool ParseBenchArgs(int argc, const char* const* argv, const std::string& program,
+                    const std::string& description, BenchEnv* env, int* exit_code) {
+  FlagParser flags(program, description);
+  flags.AddInt("jobs", 1,
+               "worker threads for the experiment runner (0 = one per hardware thread); "
+               "output is byte-identical for any value");
+  flags.AddString("out_json", "",
+                  "also write a machine-readable report (plan + results) to this path");
+  std::string error;
+  if (!flags.Parse(argc, argv, &error)) {
+    if (flags.help_requested()) {
+      std::cout << flags.Usage();
+      *exit_code = 0;
+    } else {
+      std::cerr << "error: " << error << "\n\n" << flags.Usage();
+      *exit_code = 1;
+    }
+    return false;
+  }
+  env->jobs = static_cast<int>(flags.GetInt("jobs"));
+  env->out_json = flags.GetString("out_json");
+  return true;
+}
+
+int BenchMain(int argc, const char* const* argv, const std::string& program,
+              const std::string& description, const DeclareFn& declare,
+              const RenderFn& render) {
+  BenchEnv env;
+  int exit_code = 0;
+  if (!ParseBenchArgs(argc, argv, program, description, &env, &exit_code)) {
+    return exit_code;
+  }
+
+  ExperimentPlan plan;
+  declare(plan);
+
+  RunnerOptions runner;
+  runner.jobs = env.jobs;
+  const std::vector<ExperimentResult> results = RunPlan(plan, runner);
+
+  render(results, std::cout);
+
+  if (!env.out_json.empty()) {
+    const bool ok = WriteJsonFile(env.out_json, [&](std::ostream& out) {
+      WritePlanReportJson(plan, results, /*include_latencies=*/false, out);
+    });
+    if (!ok) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+bool WriteJsonFile(const std::string& path, const std::function<void(std::ostream&)>& write) {
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "error: cannot open " << path << " for writing\n";
+    return false;
+  }
+  write(file);
+  if (!file) {
+    std::cerr << "error: writing " << path << " failed\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace bench
+}  // namespace fmoe

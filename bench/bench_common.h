@@ -1,20 +1,56 @@
-// Shared configuration for the figure-reproduction benches.
+// Shared scaffolding for the figure-reproduction benches.
 //
-// Every bench runs the same experiment harness the integration tests use, at request counts
-// sized so the full suite finishes in minutes on one core. Absolute latencies come from the
-// analytic hardware model (DESIGN.md §2); what each bench must reproduce is the *shape* of the
-// corresponding paper figure, stated in a trailing "expected shape" note.
+// Every bench is a declarative ExperimentPlan (src/harness/plan.h) plus a render function
+// over the ordered result vector; BenchMain supplies the shared control flow — flag parsing
+// (--jobs, --out_json), the deterministic parallel runner, and machine-readable output via
+// the harness/report writers. Requests are sized so the full suite finishes in minutes on
+// one core; absolute latencies come from the analytic hardware model (DESIGN.md §2), and what
+// each bench must reproduce is the *shape* of the corresponding paper figure, stated in a
+// trailing "expected shape" note.
+//
+// Determinism: rendering sees results in plan order no matter how many jobs ran, so a bench's
+// stdout is byte-identical for --jobs=1 and --jobs=N (DESIGN.md §5e).
 #ifndef FMOE_BENCH_BENCH_COMMON_H_
 #define FMOE_BENCH_BENCH_COMMON_H_
 
+#include <functional>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/harness/experiment.h"
+#include "src/harness/plan.h"
+#include "src/harness/report.h"
+#include "src/harness/runner.h"
 #include "src/util/table.h"
 
 namespace fmoe {
 namespace bench {
+
+// Shared bench flags.
+struct BenchEnv {
+  int jobs = 1;           // Worker threads for the plan runner (0 = hardware threads).
+  std::string out_json;   // Non-empty: also write a machine-readable report here.
+};
+
+// Parses the shared flags (--jobs, --out_json, --help). Returns true to proceed; on false
+// *exit_code holds the process exit status (0 for --help, 1 for a malformed flag).
+bool ParseBenchArgs(int argc, const char* const* argv, const std::string& program,
+                    const std::string& description, BenchEnv* env, int* exit_code);
+
+using DeclareFn = std::function<void(ExperimentPlan&)>;
+using RenderFn = std::function<void(const std::vector<ExperimentResult>&, std::ostream&)>;
+
+// Standard bench entry point: declare the plan, run it at --jobs workers, render the tables
+// over the ordered results, and honour --out_json with a plan report (harness/report.h).
+int BenchMain(int argc, const char* const* argv, const std::string& program,
+              const std::string& description, const DeclareFn& declare,
+              const RenderFn& render);
+
+// For benches whose machine-readable output is not an ExperimentResult vector (fig. 3/16,
+// table 1): writes a custom JSON document produced by `write` to `path`. Returns false and
+// prints to stderr on I/O failure.
+bool WriteJsonFile(const std::string& path, const std::function<void(std::ostream&)>& write);
 
 // Standard offline-experiment options (7:3 protocol, paper's d = 3).
 inline ExperimentOptions StandardOptions(const ModelConfig& model,

@@ -3,73 +3,52 @@
 // bounded quality cost (share of tokens served by reduced-precision experts) for transfer
 // bandwidth. The paper classifies lossy serving as orthogonal to fMoE; this bench shows the
 // two compose.
-#include <iostream>
-
+//
+// The precision threshold is an ExperimentOptions knob (threaded through MakeSystem into
+// FmoeOptions), so each cell is a standard offline experiment.
 #include "bench/bench_common.h"
-#include "src/core/fmoe_policy.h"
-#include "src/serving/engine.h"
-#include "src/workload/workload.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using fmoe::AsciiTable;
+  using namespace fmoe::bench;
 
-using namespace fmoe;
-using namespace fmoe::bench;
+  const std::vector<fmoe::ModelConfig> models{fmoe::MixtralConfig(), fmoe::PhiMoeConfig()};
+  const std::vector<double> thresholds{0.0, 0.1, 0.25, 0.5};
 
-struct Outcome {
-  double ttft = 0.0;
-  double tpot = 0.0;
-  double hit_rate = 0.0;
-  double low_precision_share = 0.0;
-};
-
-Outcome RunWithThreshold(const ModelConfig& model, double threshold) {
-  FmoeOptions options;
-  options.store_capacity = 384;
-  options.low_precision_threshold = threshold;
-  FmoePolicy policy(model, /*prefetch_distance=*/3, options);
-
-  EngineConfig config;
-  config.prefetch_distance = 3;
-  config.expert_cache_bytes = static_cast<uint64_t>(0.22 * model.total_expert_bytes());
-  config.cache_policy = "fMoE-PriorityLFU";
-  ServingEngine engine(model, config, &policy);
-
-  DatasetProfile dataset = LmsysLikeProfile();
-  dataset.max_decode_tokens = 24;
-  WorkloadGenerator generator(dataset, 42);
-  const WorkloadSplit split = SplitWorkload(generator.Generate(60), 0.8);
-  engine.WarmupWithHistory(split.history);
-  for (const Request& request : split.test) {
-    engine.ServeRequest(request);
-  }
-
-  Outcome outcome;
-  outcome.ttft = engine.metrics().MeanTtft();
-  outcome.tpot = engine.metrics().MeanTpot();
-  outcome.hit_rate = engine.metrics().HitRate();
-  outcome.low_precision_share = engine.metrics().LowPrecisionShare();
-  return outcome;
-}
-
-}  // namespace
-
-int main() {
-  PrintBanner(std::cout,
-              "Extension: mixed-precision expert streaming (fMoE + Hobbit-style precision "
-              "selection)");
-  for (const ModelConfig& model : {MixtralConfig(), PhiMoeConfig()}) {
-    AsciiTable table({model.name + " low-p threshold", "TTFT (ms)", "TPOT (ms)",
-                      "hit rate (%)", "low-precision servings (%)"});
-    for (const double threshold : {0.0, 0.1, 0.25, 0.5}) {
-      const Outcome outcome = RunWithThreshold(model, threshold);
-      table.AddRow({threshold == 0.0 ? "off (lossless)" : AsciiTable::Num(threshold, 2),
-                    Ms(outcome.ttft), Ms(outcome.tpot), Pct(outcome.hit_rate),
-                    Pct(outcome.low_precision_share)});
-    }
-    table.Print(std::cout);
-  }
-  std::cout << "Expected shape: raising the threshold sends more hedge experts over the link\n"
+  std::vector<size_t> cells;  // model-major, then threshold.
+  return BenchMain(
+      argc, argv, "bench_ext_mixed_precision",
+      "Extension: mixed-precision expert streaming (fMoE + Hobbit-style selection)",
+      [&](fmoe::ExperimentPlan& plan) {
+        for (const fmoe::ModelConfig& model : models) {
+          const std::vector<size_t> sweep = plan.AddOfflineSweep(
+              "fMoE", SweepOptions(model, fmoe::LmsysLikeProfile()), thresholds,
+              [](fmoe::ExperimentOptions& options, double threshold) {
+                options.low_precision_threshold = threshold;
+              },
+              "low_precision_threshold");
+          cells.insert(cells.end(), sweep.begin(), sweep.end());
+        }
+      },
+      [&](const std::vector<fmoe::ExperimentResult>& results, std::ostream& out) {
+        fmoe::PrintBanner(out,
+                          "Extension: mixed-precision expert streaming (fMoE + Hobbit-style "
+                          "precision selection)");
+        size_t next = 0;
+        for (const fmoe::ModelConfig& model : models) {
+          AsciiTable table({model.name + " low-p threshold", "TTFT (ms)", "TPOT (ms)",
+                            "hit rate (%)", "low-precision servings (%)"});
+          for (size_t t = 0; t < thresholds.size(); ++t) {
+            const fmoe::ExperimentResult& result = results[cells[next++]];
+            table.AddRow(
+                {thresholds[t] == 0.0 ? "off (lossless)" : AsciiTable::Num(thresholds[t], 2),
+                 Ms(result.mean_ttft), Ms(result.mean_tpot), Pct(result.hit_rate),
+                 Pct(result.low_precision_share)});
+          }
+          table.Print(out);
+        }
+        out << "Expected shape: raising the threshold sends more hedge experts over the link\n"
                "at half size — latency improves while the quality proxy (share of servings\n"
                "from reduced-precision copies) grows; threshold 0 reproduces lossless fMoE.\n";
-  return 0;
+      });
 }

@@ -4,100 +4,94 @@
 // and queue disciplines, measuring throughput, occupancy, and end-to-end latency — the
 // interaction between modern request scheduling and expert offloading that the paper's
 // single-request online protocol leaves open.
-#include <iostream>
-
+//
+// Each cell is a kScheduled plan task (RunScheduled): the trace is regenerated per task from
+// the same (trace, dataset, seed) triple, so every cell replays the identical request
+// sequence regardless of which worker runs it.
 #include "bench/bench_common.h"
-#include "src/harness/systems.h"
-#include "src/serving/engine.h"
-#include "src/serving/scheduler.h"
-#include "src/serving/trace.h"
 #include "src/util/stats.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using fmoe::AsciiTable;
+  using namespace fmoe::bench;
 
-using namespace fmoe;
-using namespace fmoe::bench;
+  const fmoe::ModelConfig model = fmoe::MixtralConfig();
+  const std::vector<std::string> systems{"MoE-Infinity", "fMoE"};
+  const std::vector<int> batches{1, 2, 4};
+  const std::vector<std::pair<std::string, fmoe::SchedulerOptions::QueueDiscipline>>
+      disciplines{
+          {"FCFS", fmoe::SchedulerOptions::QueueDiscipline::kFcfs},
+          {"shortest-job-first", fmoe::SchedulerOptions::QueueDiscipline::kShortestJobFirst},
+      };
+  constexpr size_t kRequests = 32;
 
-struct RunOutcome {
-  SchedulerStats stats;
-  double mean_e2e = 0.0;
-  double p90_e2e = 0.0;
-  double hit_rate = 0.0;
-  uint64_t total_tokens = 0;
-};
-
-RunOutcome RunScheduled(const std::string& system, const ModelConfig& model,
-                        const std::vector<Request>& requests, int max_batch,
-                        SchedulerOptions::QueueDiscipline discipline) {
-  SystemSpec spec = MakeSystem(system, model, /*prefetch_distance=*/3,
-                               /*fmoe_store_capacity=*/384);
-  EngineConfig config;
-  config.prefetch_distance = 3;
-  config.expert_cache_bytes = static_cast<uint64_t>(0.22 * model.total_expert_bytes());
-  config.cache_policy = spec.cache_policy;
-  ServingEngine engine(model, config, spec.policy.get());
-  SchedulerOptions options;
-  options.max_batch_size = max_batch;
-  options.discipline = discipline;
-  ContinuousBatchScheduler scheduler(&engine, options);
-  const std::vector<RequestMetrics> completed = scheduler.Run(requests);
-
-  RunOutcome outcome;
-  outcome.stats = scheduler.stats();
-  std::vector<double> e2e;
-  for (const RequestMetrics& metrics : completed) {
-    e2e.push_back(metrics.EndToEnd());
-    outcome.total_tokens += static_cast<uint64_t>(metrics.decode_iterations) + 1;
-  }
-  outcome.mean_e2e = Mean(e2e);
-  outcome.p90_e2e = Percentile(e2e, 90.0);
-  outcome.hit_rate = engine.metrics().HitRate();
-  return outcome;
-}
-
-}  // namespace
-
-int main() {
-  const ModelConfig model = MixtralConfig();
-  DatasetProfile dataset = LmsysLikeProfile();
-  dataset.max_decode_tokens = 32;
-  TraceProfile trace;
+  fmoe::TraceProfile trace;
   trace.mean_arrival_rate = 0.12;  // Heavy enough that batching matters.
   trace.max_decode_tokens = 32;
-  TraceGenerator generator(trace, dataset, /*seed=*/42);
-  const std::vector<Request> requests = generator.Generate(32);
 
-  PrintBanner(std::cout,
-              "Extension: continuous batching under load (Mixtral-8x7B, 32 trace requests)");
-  AsciiTable table({"system", "batch limit", "tokens/s", "mean occupancy", "mean e2e (s)",
-                    "p90 e2e (s)", "hit rate (%)"});
-  for (const std::string& system : {std::string("MoE-Infinity"), std::string("fMoE")}) {
-    for (int batch : {1, 2, 4}) {
-      const RunOutcome outcome = RunScheduled(system, model, requests, batch,
-                                              SchedulerOptions::QueueDiscipline::kFcfs);
-      table.AddRow({system, std::to_string(batch),
-                    AsciiTable::Num(outcome.stats.Throughput(outcome.total_tokens), 1),
-                    AsciiTable::Num(outcome.stats.mean_batch_occupancy, 2),
-                    AsciiTable::Num(outcome.mean_e2e, 1),
-                    AsciiTable::Num(outcome.p90_e2e, 1), Pct(outcome.hit_rate)});
-    }
-  }
-  table.Print(std::cout);
+  auto options = [&]() {
+    fmoe::ExperimentOptions o = SweepOptions(model, fmoe::LmsysLikeProfile());
+    o.max_decode_tokens = 32;
+    return o;
+  };
 
-  PrintBanner(std::cout, "Extension: queue discipline at batch limit 1 (fMoE, maximal queueing)");
-  AsciiTable discipline_table({"discipline", "mean e2e (s)", "p90 e2e (s)", "tokens/s"});
-  for (const auto& [label, discipline] :
-       {std::pair{std::string("FCFS"), SchedulerOptions::QueueDiscipline::kFcfs},
-        std::pair{std::string("shortest-job-first"),
-                  SchedulerOptions::QueueDiscipline::kShortestJobFirst}}) {
-    const RunOutcome outcome = RunScheduled("fMoE", model, requests, 1, discipline);
-    discipline_table.AddRow({label, AsciiTable::Num(outcome.mean_e2e, 1),
-                             AsciiTable::Num(outcome.p90_e2e, 1),
-                             AsciiTable::Num(outcome.stats.Throughput(outcome.total_tokens), 1)});
-  }
-  discipline_table.Print(std::cout);
-  std::cout << "Expected shape: raising the batch limit increases throughput and occupancy\n"
+  std::vector<size_t> batch_cells;       // system-major, then batch limit.
+  std::vector<size_t> discipline_cells;  // one per discipline, batch limit 1.
+  return BenchMain(
+      argc, argv, "bench_ext_scheduler",
+      "Extension: continuous batching and queue disciplines under an online trace",
+      [&](fmoe::ExperimentPlan& plan) {
+        for (const std::string& system : systems) {
+          for (const int batch : batches) {
+            fmoe::SchedulerOptions sched;
+            sched.max_batch_size = batch;
+            batch_cells.push_back(plan.AddScheduled(
+                system, options(), trace, kRequests, sched,
+                {"group=batching", "system=" + system, "batch=" + std::to_string(batch)}));
+          }
+        }
+        for (const auto& [label, discipline] : disciplines) {
+          fmoe::SchedulerOptions sched;
+          sched.max_batch_size = 1;
+          sched.discipline = discipline;
+          discipline_cells.push_back(plan.AddScheduled(
+              "fMoE", options(), trace, kRequests, sched,
+              {"group=discipline", "discipline=" + label}));
+        }
+      },
+      [&](const std::vector<fmoe::ExperimentResult>& results, std::ostream& out) {
+        fmoe::PrintBanner(
+            out, "Extension: continuous batching under load (Mixtral-8x7B, 32 trace requests)");
+        AsciiTable table({"system", "batch limit", "tokens/s", "mean occupancy", "mean e2e (s)",
+                          "p90 e2e (s)", "hit rate (%)"});
+        size_t next = 0;
+        for (const std::string& system : systems) {
+          for (const int batch : batches) {
+            const fmoe::ExperimentResult& result = results[batch_cells[next++]];
+            table.AddRow(
+                {system, std::to_string(batch),
+                 AsciiTable::Num(result.scheduler_stats.Throughput(result.scheduled_tokens), 1),
+                 AsciiTable::Num(result.scheduler_stats.mean_batch_occupancy, 2),
+                 AsciiTable::Num(result.mean_e2e, 1),
+                 AsciiTable::Num(fmoe::Percentile(result.request_latencies, 90.0), 1),
+                 Pct(result.hit_rate)});
+          }
+        }
+        table.Print(out);
+
+        fmoe::PrintBanner(out,
+                          "Extension: queue discipline at batch limit 1 (fMoE, maximal queueing)");
+        AsciiTable discipline_table({"discipline", "mean e2e (s)", "p90 e2e (s)", "tokens/s"});
+        for (size_t d = 0; d < disciplines.size(); ++d) {
+          const fmoe::ExperimentResult& result = results[discipline_cells[d]];
+          discipline_table.AddRow(
+              {disciplines[d].first, AsciiTable::Num(result.mean_e2e, 1),
+               AsciiTable::Num(fmoe::Percentile(result.request_latencies, 90.0), 1),
+               AsciiTable::Num(result.scheduler_stats.Throughput(result.scheduled_tokens), 1)});
+        }
+        discipline_table.Print(out);
+        out << "Expected shape: raising the batch limit increases throughput and occupancy\n"
                "while per-request latency falls (queueing shrinks); under serial service, SJF\n"
                "lowers mean latency relative to FCFS when queues mix request lengths.\n";
-  return 0;
+      });
 }

@@ -3,11 +3,9 @@
 //         Map(T+S+delta). All run inside the same matcher/prefetcher machinery.
 //   12b — caching algorithms: LRU, LFU, fMoE's probability-weighted LFU, all under full
 //         fMoE prefetching.
-#include <iostream>
-
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using fmoe::AsciiTable;
   using namespace fmoe::bench;
 
@@ -16,42 +14,58 @@ int main() {
   const fmoe::ModelConfig model = fmoe::QwenMoeConfig();
   const fmoe::DatasetProfile dataset = fmoe::LmsysLikeProfile();
 
-  fmoe::PrintBanner(std::cout, "Figure 12a: expert pattern tracking approaches (Qwen1.5-MoE)");
-  {
-    AsciiTable table({"tracking approach", "hit rate (%)", "TPOT (ms)"});
-    const std::vector<std::pair<std::string, std::string>> variants{
-        {"Speculate", "Speculate"},
-        {"Hit count", "HitCount"},
-        {"Map (T)", "Map(T)"},
-        {"Map (T+S)", "Map(T+S)"},
-        {"Map (T+S+d)", "Map(T+S+d)"},
-    };
-    for (const auto& [label, system] : variants) {
-      const fmoe::ExperimentOptions options = SweepOptions(model, dataset);
-      const fmoe::ExperimentResult result = fmoe::RunOffline(system, options);
-      table.AddRow({label, Pct(result.hit_rate), Ms(result.mean_tpot)});
-    }
-    table.Print(std::cout);
-  }
+  const std::vector<std::pair<std::string, std::string>> tracking{
+      {"Speculate", "Speculate"},
+      {"Hit count", "HitCount"},
+      {"Map (T)", "Map(T)"},
+      {"Map (T+S)", "Map(T+S)"},
+      {"Map (T+S+d)", "Map(T+S+d)"},
+  };
+  const std::vector<std::pair<std::string, std::string>> caching{
+      {"LRU (Mixtral-Offloading)", "fMoE-LRU"},
+      {"LFU (MoE-Infinity)", "fMoE-LFU"},
+      {"fMoE (p x freq priority)", "fMoE"},
+  };
 
-  fmoe::PrintBanner(std::cout, "Figure 12b: expert caching algorithms (Qwen1.5-MoE)");
-  {
-    AsciiTable table({"caching algorithm", "hit rate (%)", "TPOT (ms)"});
-    const std::vector<std::pair<std::string, std::string>> variants{
-        {"LRU (Mixtral-Offloading)", "fMoE-LRU"},
-        {"LFU (MoE-Infinity)", "fMoE-LFU"},
-        {"fMoE (p x freq priority)", "fMoE"},
-    };
-    for (const auto& [label, system] : variants) {
-      const fmoe::ExperimentOptions options = SweepOptions(model, dataset);
-      const fmoe::ExperimentResult result = fmoe::RunOffline(system, options);
-      table.AddRow({label, Pct(result.hit_rate), Ms(result.mean_tpot)});
-    }
-    table.Print(std::cout);
-  }
+  std::vector<size_t> tracking_cells;
+  std::vector<size_t> caching_cells;
+  return BenchMain(
+      argc, argv, "bench_fig12_ablation",
+      "Figure 12: tracking-approach and caching-algorithm ablations (Qwen1.5-MoE)",
+      [&](fmoe::ExperimentPlan& plan) {
+        for (const auto& [label, system] : tracking) {
+          tracking_cells.push_back(plan.AddOffline(system, SweepOptions(model, dataset),
+                                                   {"group=tracking", "system=" + system}));
+        }
+        for (const auto& [label, system] : caching) {
+          caching_cells.push_back(plan.AddOffline(system, SweepOptions(model, dataset),
+                                                  {"group=caching", "system=" + system}));
+        }
+      },
+      [&](const std::vector<fmoe::ExperimentResult>& results, std::ostream& out) {
+        fmoe::PrintBanner(out,
+                          "Figure 12a: expert pattern tracking approaches (Qwen1.5-MoE)");
+        {
+          AsciiTable table({"tracking approach", "hit rate (%)", "TPOT (ms)"});
+          for (size_t i = 0; i < tracking.size(); ++i) {
+            const fmoe::ExperimentResult& result = results[tracking_cells[i]];
+            table.AddRow({tracking[i].first, Pct(result.hit_rate), Ms(result.mean_tpot)});
+          }
+          table.Print(out);
+        }
 
-  std::cout << "Expected shape (paper Fig. 12): hit rate increases as expert-map features are\n"
+        fmoe::PrintBanner(out, "Figure 12b: expert caching algorithms (Qwen1.5-MoE)");
+        {
+          AsciiTable table({"caching algorithm", "hit rate (%)", "TPOT (ms)"});
+          for (size_t i = 0; i < caching.size(); ++i) {
+            const fmoe::ExperimentResult& result = results[caching_cells[i]];
+            table.AddRow({caching[i].first, Pct(result.hit_rate), Ms(result.mean_tpot)});
+          }
+          table.Print(out);
+        }
+
+        out << "Expected shape (paper Fig. 12): hit rate increases as expert-map features are\n"
                "restored — hit-count tracking worst, Map(T) < Map(T+S) < Map(T+S+delta) —\n"
                "(12a); and LRU < LFU < fMoE's priority cache under prefetching (12b).\n";
-  return 0;
+      });
 }

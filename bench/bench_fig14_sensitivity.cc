@@ -2,55 +2,76 @@
 //   14a — mean semantic / trajectory similarity scores vs Expert Map Store capacity.
 //   14b — TTFT / TPOT vs inference batch size (Mixtral-8x7B, LMSYS-like), fMoE and the
 //         three prefetching baselines.
-#include <iostream>
-
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using fmoe::AsciiTable;
   using namespace fmoe::bench;
 
   const fmoe::ModelConfig model = fmoe::MixtralConfig();
   const fmoe::DatasetProfile dataset = fmoe::LmsysLikeProfile();
+  const std::vector<size_t> capacities{64, 128, 256, 512, 1024, 2048};
+  const std::vector<int> batch_sizes{1, 2, 3, 4};
+  const std::vector<std::string> batch_systems{"Mixtral-Offloading", "ProMoE", "MoE-Infinity",
+                                               "fMoE"};
 
-  fmoe::PrintBanner(std::cout, "Figure 14a: similarity scores vs Expert Map Store capacity");
-  {
-    AsciiTable table({"store capacity", "mean semantic score", "mean trajectory score",
-                      "hit rate (%)"});
-    for (size_t capacity : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
-      fmoe::ExperimentOptions options = SweepOptions(model, dataset);
-      options.store_capacity = capacity;
-      const fmoe::ExperimentResult result = fmoe::RunOffline("fMoE", options);
-      table.AddRow({std::to_string(capacity), AsciiTable::Num(result.mean_semantic_score, 3),
-                    AsciiTable::Num(result.mean_trajectory_score, 3), Pct(result.hit_rate)});
-    }
-    table.Print(std::cout);
-  }
+  std::vector<size_t> capacity_cells;
+  std::vector<size_t> batch_cells;  // system-major, then batch size.
+  return BenchMain(
+      argc, argv, "bench_fig14_sensitivity",
+      "Figure 14: store-capacity and batch-size sensitivity (Mixtral-8x7B)",
+      [&](fmoe::ExperimentPlan& plan) {
+        capacity_cells = plan.AddOfflineSweep(
+            "fMoE", SweepOptions(model, dataset), capacities,
+            [](fmoe::ExperimentOptions& options, size_t capacity) {
+              options.store_capacity = capacity;
+            },
+            "store_capacity");
+        for (const std::string& system : batch_systems) {
+          const std::vector<size_t> sweep = plan.AddOfflineSweep(
+              system, SweepOptions(model, dataset), batch_sizes,
+              [](fmoe::ExperimentOptions& options, int batch) { options.batch_size = batch; },
+              "batch");
+          batch_cells.insert(batch_cells.end(), sweep.begin(), sweep.end());
+        }
+      },
+      [&](const std::vector<fmoe::ExperimentResult>& results, std::ostream& out) {
+        fmoe::PrintBanner(out,
+                          "Figure 14a: similarity scores vs Expert Map Store capacity");
+        {
+          AsciiTable table({"store capacity", "mean semantic score", "mean trajectory score",
+                            "hit rate (%)"});
+          for (size_t i = 0; i < capacities.size(); ++i) {
+            const fmoe::ExperimentResult& result = results[capacity_cells[i]];
+            table.AddRow({std::to_string(capacities[i]),
+                          AsciiTable::Num(result.mean_semantic_score, 3),
+                          AsciiTable::Num(result.mean_trajectory_score, 3),
+                          Pct(result.hit_rate)});
+          }
+          table.Print(out);
+        }
 
-  fmoe::PrintBanner(std::cout, "Figure 14b: performance vs inference batch size");
-  {
-    AsciiTable table({"system", "metric", "B=1", "B=2", "B=3", "B=4"});
-    for (const std::string& system :
-         {std::string("Mixtral-Offloading"), std::string("ProMoE"), std::string("MoE-Infinity"),
-          std::string("fMoE")}) {
-      std::vector<std::string> ttft_row{system, "TTFT (ms)"};
-      std::vector<std::string> tpot_row{system, "TPOT (ms)"};
-      for (int batch = 1; batch <= 4; ++batch) {
-        fmoe::ExperimentOptions options = SweepOptions(model, dataset);
-        options.batch_size = batch;
-        const fmoe::ExperimentResult result = fmoe::RunOffline(system, options);
-        ttft_row.push_back(Ms(result.mean_ttft));
-        tpot_row.push_back(Ms(result.mean_tpot));
-      }
-      table.AddRow(ttft_row);
-      table.AddRow(tpot_row);
-    }
-    table.Print(std::cout);
-  }
+        fmoe::PrintBanner(out, "Figure 14b: performance vs inference batch size");
+        {
+          AsciiTable table({"system", "metric", "B=1", "B=2", "B=3", "B=4"});
+          size_t next = 0;
+          for (const std::string& system : batch_systems) {
+            std::vector<std::string> ttft_row{system, "TTFT (ms)"};
+            std::vector<std::string> tpot_row{system, "TPOT (ms)"};
+            for (size_t b = 0; b < batch_sizes.size(); ++b) {
+              const fmoe::ExperimentResult& result = results[batch_cells[next++]];
+              ttft_row.push_back(Ms(result.mean_ttft));
+              tpot_row.push_back(Ms(result.mean_tpot));
+            }
+            table.AddRow(ttft_row);
+            table.AddRow(tpot_row);
+          }
+          table.Print(out);
+        }
 
-  std::cout << "Expected shape (paper Fig. 14): similarity scores improve with store capacity\n"
+        out << "Expected shape (paper Fig. 14): similarity scores improve with store capacity\n"
                "with diminishing returns beyond ~1K maps (14a); fMoE achieves the lowest TTFT\n"
                "and TPOT at most batch sizes, with latency growing in the batch size for every\n"
                "system (14b).\n";
-  return 0;
+      });
 }

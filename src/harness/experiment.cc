@@ -25,12 +25,19 @@ EngineConfig MakeEngineConfig(const ExperimentOptions& options, const SystemSpec
   config.expert_cache_bytes = spec.preload_all ? 0 : ResolveCacheBytes(options);
   config.cache_policy = spec.cache_policy;
   config.preload_all = spec.preload_all;
+  config.frequency_decay = options.frequency_decay;
+  config.placement = options.placement;
   config.gate = options.gate;
   config.hardware = options.hardware;
   config.seed = options.seed;
   config.matcher_latency_scale = options.matcher_latency_scale;
   config.matcher_queue_depth = options.matcher_queue_depth;
   return config;
+}
+
+SystemSpec MakeSystemFor(const std::string& system_name, const ExperimentOptions& options) {
+  return MakeSystem(system_name, options.model, options.prefetch_distance,
+                    options.store_capacity, options.low_precision_threshold);
 }
 
 void FillResult(const std::string& system_name, const ExperimentOptions& options,
@@ -47,6 +54,7 @@ void FillResult(const std::string& system_name, const ExperimentOptions& options
   result->cache_capacity_gb = static_cast<double>(engine.cache().capacity_bytes()) / kGiB;
   result->cache_used_gb = static_cast<double>(engine.cache().used_bytes()) / kGiB;
   result->request_latencies = metrics.EndToEndLatencies();
+  result->low_precision_share = metrics.LowPrecisionShare();
   if (options.keep_iteration_records) {
     result->iteration_records = metrics.iteration_records();
   }
@@ -78,8 +86,7 @@ ExperimentResult RunOffline(const std::string& system_name, const ExperimentOpti
       static_cast<double>(options.history_requests) /
           static_cast<double>(options.history_requests + options.test_requests));
 
-  SystemSpec spec = MakeSystem(system_name, options.model, options.prefetch_distance,
-                               options.store_capacity);
+  SystemSpec spec = MakeSystemFor(system_name, options);
   auto* fmoe_policy = dynamic_cast<FmoePolicy*>(spec.policy.get());
   ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
   engine.WarmupWithHistory(split.history);
@@ -103,10 +110,51 @@ ExperimentResult RunOnline(const std::string& system_name, const ExperimentOptio
   TraceGenerator generator(trace, ApplyCaps(options.dataset, options), options.seed);
   const std::vector<Request> requests = generator.Generate(request_count);
 
-  SystemSpec spec = MakeSystem(system_name, options.model, options.prefetch_distance,
-                               options.store_capacity);
+  SystemSpec spec = MakeSystemFor(system_name, options);
   ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
   // Online protocol: empty history (§6.3) — serve straight off the trace, FIFO.
+  for (const Request& request : requests) {
+    engine.ServeRequest(request);
+  }
+
+  ExperimentResult result;
+  FillResult(system_name, options, engine, spec, &result);
+  return result;
+}
+
+ExperimentResult RunScheduled(const std::string& system_name, const ExperimentOptions& options,
+                              const TraceProfile& trace, size_t request_count,
+                              const SchedulerOptions& sched) {
+  TraceGenerator generator(trace, ApplyCaps(options.dataset, options), options.seed);
+  const std::vector<Request> requests = generator.Generate(request_count);
+
+  SystemSpec spec = MakeSystemFor(system_name, options);
+  ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
+  ContinuousBatchScheduler scheduler(&engine, sched);
+  const std::vector<RequestMetrics> completed = scheduler.Run(requests);
+
+  ExperimentResult result;
+  FillResult(system_name, options, engine, spec, &result);
+  result.scheduler_stats = scheduler.stats();
+  // The scheduler owns request completion: its drained metrics (completion order) replace the
+  // engine-side per-request view, and end-to-end latencies include queueing.
+  result.request_latencies.clear();
+  result.scheduled_tokens = 0;
+  double e2e_sum = 0.0;
+  for (const RequestMetrics& metrics : completed) {
+    result.request_latencies.push_back(metrics.EndToEnd());
+    e2e_sum += metrics.EndToEnd();
+    result.scheduled_tokens += static_cast<uint64_t>(metrics.decode_iterations) + 1;
+  }
+  result.mean_e2e =
+      completed.empty() ? 0.0 : e2e_sum / static_cast<double>(completed.size());
+  return result;
+}
+
+ExperimentResult RunReplay(const std::string& system_name, const ExperimentOptions& options,
+                           const std::vector<Request>& requests) {
+  SystemSpec spec = MakeSystemFor(system_name, options);
+  ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
   for (const Request& request : requests) {
     engine.ServeRequest(request);
   }

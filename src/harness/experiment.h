@@ -13,9 +13,11 @@
 
 #include "src/core/fmoe_policy.h"
 #include "src/harness/systems.h"
+#include "src/memsim/gpu.h"
 #include "src/moe/cost_model.h"
 #include "src/moe/gate_simulator.h"
 #include "src/serving/metrics.h"
+#include "src/serving/scheduler.h"
 #include "src/serving/trace.h"
 #include "src/workload/workload.h"
 
@@ -40,6 +42,12 @@ struct ExperimentOptions {
   // historical semantics), 1 = matcher running at the modeled search throughput.
   double matcher_latency_scale = 0.0;
   int matcher_queue_depth = 32;
+  // Engine knobs the design-ablation experiments sweep (EngineConfig pass-throughs; the
+  // defaults match EngineConfig's, so untouched options change nothing).
+  double frequency_decay = 0.6;  // Per-iteration aging of cache hit frequencies.
+  PlacementStrategy placement = PlacementStrategy::kRoundRobin;
+  // Mixed-precision extension knob (fMoE-family systems only; see FmoeOptions).
+  double low_precision_threshold = 0.0;
   GateProfile gate;
   HardwareProfile hardware;
 };
@@ -60,12 +68,30 @@ struct ExperimentResult {
   std::vector<FmoePolicy::IterationScoreSample> score_log;
   double mean_semantic_score = 0.0;    // fMoE-family systems only.
   double mean_trajectory_score = 0.0;  // fMoE-family systems only.
+  double low_precision_share = 0.0;    // Share of expert servings at reduced precision.
+  // Scheduled runs only (RunScheduled): continuous-batching counters and the total output
+  // tokens of the completed requests (for SchedulerStats::Throughput).
+  SchedulerStats scheduler_stats;
+  uint64_t scheduled_tokens = 0;
 };
 
 ExperimentResult RunOffline(const std::string& system_name, const ExperimentOptions& options);
 
 ExperimentResult RunOnline(const std::string& system_name, const ExperimentOptions& options,
                            const TraceProfile& trace, size_t request_count);
+
+// Continuous-batching protocol: requests from the trace are admitted by a
+// ContinuousBatchScheduler (batch limit + queue discipline from `sched`) instead of the
+// online protocol's FIFO one-at-a-time loop. request_latencies holds end-to-end latencies in
+// completion order (what the scheduler drains), not arrival order.
+ExperimentResult RunScheduled(const std::string& system_name, const ExperimentOptions& options,
+                              const TraceProfile& trace, size_t request_count,
+                              const SchedulerOptions& sched);
+
+// Replay protocol: serves a caller-supplied request sequence (e.g. loaded from a trace CSV)
+// in order on one engine, cold-started like RunOnline.
+ExperimentResult RunReplay(const std::string& system_name, const ExperimentOptions& options,
+                           const std::vector<Request>& requests);
 
 // Resolves the cache budget an options struct implies, in bytes.
 uint64_t ResolveCacheBytes(const ExperimentOptions& options);

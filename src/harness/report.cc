@@ -126,6 +126,41 @@ void WriteResultsJson(const std::vector<ExperimentResult>& results, bool include
   out << "]\n";
 }
 
+void WritePlanReportJson(const ExperimentPlan& plan,
+                         const std::vector<ExperimentResult>& results,
+                         bool include_latencies, std::ostream& out) {
+  out << "{\"plan_seed\":" << plan.plan_seed() << ",\"tasks\":[";
+  const std::vector<ExperimentTask>& tasks = plan.tasks();
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const ExperimentTask& task = tasks[i];
+    out << "{\"index\":" << i << ",";
+    out << "\"system\":\"" << JsonEscape(task.system) << "\",";
+    const char* mode = task.mode == ExperimentMode::kOffline    ? "offline"
+                       : task.mode == ExperimentMode::kOnline   ? "online"
+                                                                : "scheduled";
+    out << "\"mode\":\"" << mode << "\",";
+    out << "\"seed\":" << task.options.seed << ",";
+    out << "\"tags\":[";
+    for (size_t t = 0; t < task.tags.size(); ++t) {
+      out << "\"" << JsonEscape(task.tags[t]) << "\"";
+      if (t + 1 < task.tags.size()) {
+        out << ",";
+      }
+    }
+    out << "],\"result\":";
+    if (i < results.size()) {
+      WriteResultJson(results[i], include_latencies, out);
+    } else {
+      out << "null";
+    }
+    out << "}";
+    if (i + 1 < tasks.size()) {
+      out << ",";
+    }
+  }
+  out << "]}\n";
+}
+
 void WriteResultsCsv(const std::vector<ExperimentResult>& results, std::ostream& out) {
   out << "system,ttft_s,tpot_s,hit_rate,e2e_s,iterations,cache_capacity_gb,cache_used_gb,"
          "demand_stall_s,sync_overhead_s\n";

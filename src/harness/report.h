@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/harness/experiment.h"
+#include "src/harness/plan.h"
 
 namespace fmoe {
 
@@ -19,6 +20,13 @@ void WriteResultJson(const ExperimentResult& result, bool include_latencies,
 // Serialises several results as a JSON array.
 void WriteResultsJson(const std::vector<ExperimentResult>& results, bool include_latencies,
                       std::ostream& out);
+
+// Serialises a whole plan run: one document with the plan seed and, per task (in plan
+// order), its declaration (system, mode, seed, tags) alongside its result. This is what
+// every figure bench emits for --out_json.
+void WritePlanReportJson(const ExperimentPlan& plan,
+                         const std::vector<ExperimentResult>& results,
+                         bool include_latencies, std::ostream& out);
 
 // CSV with one row per result. Header:
 //   system,ttft_s,tpot_s,hit_rate,e2e_s,iterations,cache_capacity_gb,cache_used_gb,

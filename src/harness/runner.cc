@@ -1,0 +1,37 @@
+#include "src/harness/runner.h"
+
+#include "src/util/thread_pool.h"
+
+namespace fmoe {
+
+ExperimentResult RunTask(const ExperimentTask& task) {
+  switch (task.mode) {
+    case ExperimentMode::kOffline:
+      return RunOffline(task.system, task.options);
+    case ExperimentMode::kOnline:
+      return RunOnline(task.system, task.options, task.trace, task.request_count);
+    case ExperimentMode::kScheduled:
+      return RunScheduled(task.system, task.options, task.trace, task.request_count,
+                          task.scheduler);
+  }
+  return ExperimentResult{};  // Unreachable; all modes handled above.
+}
+
+std::vector<ExperimentResult> RunPlan(const ExperimentPlan& plan, const RunnerOptions& options,
+                                      const std::function<void(size_t)>& on_done) {
+  const std::vector<ExperimentTask>& tasks = plan.tasks();
+  std::vector<ExperimentResult> results(tasks.size());
+  const int jobs = options.jobs <= 0 ? ThreadPool::HardwareThreads() : options.jobs;
+  // Each index writes only results[index]; ParallelForIndex runs inline (in plan order) at
+  // jobs=1 and load-balances across a pool otherwise. Either way the returned vector is in
+  // plan order, so downstream rendering cannot observe the execution schedule.
+  ParallelForIndex(tasks.size(), jobs, [&](size_t index) {
+    results[index] = RunTask(tasks[index]);
+    if (on_done) {
+      on_done(index);
+    }
+  });
+  return results;
+}
+
+}  // namespace fmoe

@@ -11,12 +11,13 @@ namespace {
 
 SystemSpec FmoeVariant(const std::string& name, const ModelConfig& model, int distance,
                        bool semantic, bool dynamic_threshold, const std::string& cache,
-                       size_t store_capacity,
+                       size_t store_capacity, double low_precision_threshold,
                        StoreDedupPolicy dedup = StoreDedupPolicy::kRedundancy) {
   FmoeOptions options;
   options.variant_name = name;
   options.store_capacity = store_capacity;
   options.store_dedup = dedup;
+  options.low_precision_threshold = low_precision_threshold;
   options.matcher.use_semantic = semantic;
   options.matcher.use_trajectory = true;
   options.prefetcher.dynamic_threshold = dynamic_threshold;
@@ -33,40 +34,41 @@ SystemSpec FmoeVariant(const std::string& name, const ModelConfig& model, int di
 }  // namespace
 
 SystemSpec MakeSystem(const std::string& name, const ModelConfig& model, int prefetch_distance,
-                      size_t fmoe_store_capacity) {
+                      size_t fmoe_store_capacity, double low_precision_threshold) {
   SystemSpec spec;
   spec.name = name;
   if (name == "fMoE") {
     return FmoeVariant(name, model, prefetch_distance, /*semantic=*/true,
                        /*dynamic_threshold=*/true, "fMoE-PriorityLFU",
-                       fmoe_store_capacity);
+                       fmoe_store_capacity, low_precision_threshold);
   }
   if (name == "Map(T)") {
     return FmoeVariant(name, model, prefetch_distance, /*semantic=*/false,
                        /*dynamic_threshold=*/false, "fMoE-PriorityLFU",
-                       fmoe_store_capacity);
+                       fmoe_store_capacity, low_precision_threshold);
   }
   if (name == "Map(T+S)") {
     return FmoeVariant(name, model, prefetch_distance, /*semantic=*/true,
                        /*dynamic_threshold=*/false, "fMoE-PriorityLFU",
-                       fmoe_store_capacity);
+                       fmoe_store_capacity, low_precision_threshold);
   }
   if (name == "Map(T+S+d)") {
     return FmoeVariant(name, model, prefetch_distance, /*semantic=*/true,
                        /*dynamic_threshold=*/true, "fMoE-PriorityLFU",
-                       fmoe_store_capacity);
+                       fmoe_store_capacity, low_precision_threshold);
   }
   if (name == "fMoE-FIFOStore") {
     return FmoeVariant(name, model, prefetch_distance, true, true, "fMoE-PriorityLFU",
-                       fmoe_store_capacity, StoreDedupPolicy::kFifo);
+                       fmoe_store_capacity, low_precision_threshold,
+                       StoreDedupPolicy::kFifo);
   }
   if (name == "fMoE-LRU") {
     return FmoeVariant(name, model, prefetch_distance, true, true, "LRU",
-                       fmoe_store_capacity);
+                       fmoe_store_capacity, low_precision_threshold);
   }
   if (name == "fMoE-LFU") {
     return FmoeVariant(name, model, prefetch_distance, true, true, "LFU",
-                       fmoe_store_capacity);
+                       fmoe_store_capacity, low_precision_threshold);
   }
   if (name == "MoE-Infinity") {
     spec.cache_policy = "LFU";

@@ -38,8 +38,11 @@ struct SystemSpec {
 //   "fMoE-FIFOStore"      — full fMoE with FIFO store replacement instead of RDY dedup.
 // `fmoe_store_capacity` sizes the Expert Map Store of fMoE-family systems (1K is the paper's
 // operating point; experiments shrink it for speed or sweep it for sensitivity).
+// `low_precision_threshold` enables the Hobbit-style mixed-precision extension for
+// fMoE-family systems (0, the default, is the paper's lossless behaviour).
 SystemSpec MakeSystem(const std::string& name, const ModelConfig& model, int prefetch_distance,
-                      size_t fmoe_store_capacity = 1000);
+                      size_t fmoe_store_capacity = 1000,
+                      double low_precision_threshold = 0.0);
 
 // The five systems of Figs. 9-11, worst-to-best order used in the paper's plots.
 std::vector<std::string> PaperSystemNames();

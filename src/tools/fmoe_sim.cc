@@ -1,10 +1,12 @@
 // fmoe_sim — command-line driver for the fMoE serving simulator.
 //
 // Runs the paper's offline (7:3) or online (trace replay) protocol for any registered system
-// and prints a table, JSON, or CSV. Examples:
+// and prints a table, JSON, or CSV. The systems run as a declarative ExperimentPlan through
+// the deterministic parallel runner: --jobs only changes wall-clock time, never output.
+// Examples:
 //
 //   fmoe_sim --model mixtral --system fMoE
-//   fmoe_sim --model qwen --system all --format csv
+//   fmoe_sim --model qwen --system all --format csv --jobs 4
 //   fmoe_sim --model phi --mode online --requests 64 --trace-rate 0.1 --format json
 //   fmoe_sim --model mixtral --system fMoE --save-store /tmp/mixtral.store
 #include <fstream>
@@ -14,8 +16,11 @@
 #include "src/core/fmoe_policy.h"
 #include "src/core/map_store_io.h"
 #include "src/harness/experiment.h"
+#include "src/harness/plan.h"
 #include "src/harness/report.h"
+#include "src/harness/runner.h"
 #include "src/harness/systems.h"
+#include "src/util/thread_pool.h"
 #include "src/workload/trace_io.h"
 #include "src/serving/engine.h"
 #include "src/util/flags.h"
@@ -89,6 +94,9 @@ int main(int argc, char** argv) {
                   "decisions, 1 = modeled matcher speed)");
   flags.AddInt("matcher-queue-depth", 32, "pending deferred-job bound (oldest dropped past it)");
   flags.AddInt("seed", 42, "random seed (all components are deterministic given this)");
+  flags.AddInt("jobs", 1,
+               "worker threads when running several systems (0 = one per hardware thread); "
+               "output is byte-identical for any value");
   flags.AddString("format", "table", "output format: table | json | csv");
   flags.AddBool("latencies", false, "include per-request latencies in JSON output");
   flags.AddString("save-store", "", "after an fMoE run, save its Expert Map Store here");
@@ -162,7 +170,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Custom trace replay: load requests from CSV and serve them online on one engine.
+  // Custom trace replay: load requests from CSV once, then serve them online per system.
   std::vector<Request> csv_requests;
   const bool use_csv = !flags.GetString("trace-csv").empty();
   if (use_csv) {
@@ -176,43 +184,26 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
+  const int jobs = static_cast<int>(flags.GetInt("jobs"));
   std::vector<ExperimentResult> results;
-  for (const std::string& system : systems) {
-    if (use_csv) {
-      SystemSpec spec = MakeSystem(system, options.model, options.prefetch_distance,
-                                   options.store_capacity);
-      EngineConfig config;
-      config.prefetch_distance = options.prefetch_distance;
-      config.gpu_count = options.gpu_count;
-      config.expert_cache_bytes = ResolveCacheBytes(options);
-      config.cache_policy = spec.cache_policy;
-      config.preload_all = spec.preload_all;
-      config.seed = options.seed;
-      config.matcher_latency_scale = options.matcher_latency_scale;
-      config.matcher_queue_depth = options.matcher_queue_depth;
-      ServingEngine engine(options.model, config, spec.policy.get());
-      for (const Request& request : csv_requests) {
-        engine.ServeRequest(request);
+  if (use_csv) {
+    // Replay tasks share the loaded request vector (read-only); each index runs one system and
+    // writes only its own slot, so any job count yields the same result vector.
+    results.resize(systems.size());
+    ParallelForIndex(systems.size(), jobs <= 0 ? ThreadPool::HardwareThreads() : jobs,
+                     [&](size_t i) { results[i] = RunReplay(systems[i], options, csv_requests); });
+  } else {
+    ExperimentPlan plan(options.seed);
+    for (const std::string& system : systems) {
+      if (online) {
+        plan.AddOnline(system, options, trace, options.test_requests, {"system=" + system});
+      } else {
+        plan.AddOffline(system, options, {"system=" + system});
       }
-      ExperimentResult result;
-      result.system = system;
-      result.deferred = engine.metrics().deferred();
-      result.mean_ttft = engine.metrics().MeanTtft();
-      result.mean_tpot = engine.metrics().MeanTpot();
-      result.hit_rate = engine.metrics().HitRate();
-      result.mean_e2e = engine.metrics().MeanEndToEnd();
-      result.iterations = engine.metrics().iterations();
-      result.breakdown = engine.metrics().breakdown();
-      result.cache_capacity_gb =
-          static_cast<double>(engine.cache().capacity_bytes()) / (1ULL << 30);
-      result.cache_used_gb = static_cast<double>(engine.cache().used_bytes()) / (1ULL << 30);
-      result.request_latencies = engine.metrics().EndToEndLatencies();
-      results.push_back(std::move(result));
-    } else if (online) {
-      results.push_back(RunOnline(system, options, trace, options.test_requests));
-    } else {
-      results.push_back(RunOffline(system, options));
     }
+    RunnerOptions runner;
+    runner.jobs = jobs;
+    results = RunPlan(plan, runner);
   }
 
   // Optional store export: re-run fMoE through an engine we keep, then persist its store.

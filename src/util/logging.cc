@@ -3,11 +3,25 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace fmoe {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+// Single sink shared by every thread (the experiment runner logs from its workers). Each
+// message is formatted into one buffer and written in one guarded fputs so lines from
+// concurrent threads never interleave mid-line.
+std::mutex& SinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+void WriteLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::fputs(line.c_str(), stderr);
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -30,11 +44,31 @@ void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 
 void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line, message.c_str());
+  std::string formatted;
+  formatted.reserve(message.size() + 64);
+  formatted += '[';
+  formatted += LevelName(level);
+  formatted += ' ';
+  formatted += file;
+  formatted += ':';
+  formatted += std::to_string(line);
+  formatted += "] ";
+  formatted += message;
+  formatted += '\n';
+  WriteLine(formatted);
 }
 
 void CheckFailed(const char* file, int line, const char* expr, const std::string& message) {
-  std::fprintf(stderr, "[CHECK %s:%d] failed: %s %s\n", file, line, expr, message.c_str());
+  std::string formatted = "[CHECK ";
+  formatted += file;
+  formatted += ':';
+  formatted += std::to_string(line);
+  formatted += "] failed: ";
+  formatted += expr;
+  formatted += ' ';
+  formatted += message;
+  formatted += '\n';
+  WriteLine(formatted);
   std::abort();
 }
 

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace fmoe {
 namespace {
 
@@ -23,6 +28,49 @@ TEST(LoggingTest, LogMacroEvaluatesStreamExpression) {
 TEST(LoggingTest, ChecksPassSilently) {
   FMOE_CHECK(1 + 1 == 2);
   FMOE_CHECK_MSG(true, "never rendered " << 3);
+}
+
+TEST(LoggingTest, ConcurrentLoggingNeverInterleavesLines) {
+  // The sink serialises whole formatted lines (util/logging.cc WriteLine), so hammering it
+  // from many threads must yield only complete, well-formed lines — no torn writes.
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kLinesPerThread = 200;
+
+  ::testing::internal::CaptureStderr();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        for (int i = 0; i < kLinesPerThread; ++i) {
+          FMOE_LOG(LogLevel::kInfo, "thread=" << t << " line=" << i << " tail");
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  SetLogLevel(original);
+
+  int lines = 0;
+  std::istringstream stream(captured);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ++lines;
+    // Every line is exactly one message: prefix, both fields, and the tail marker — a torn
+    // write would split the tail from its prefix or fuse two prefixes into one line.
+    EXPECT_EQ(line.rfind("[INFO ", 0), 0u) << "corrupt line: " << line;
+    EXPECT_NE(line.find(" thread="), std::string::npos) << "corrupt line: " << line;
+    EXPECT_NE(line.find(" line="), std::string::npos) << "corrupt line: " << line;
+    EXPECT_TRUE(line.size() >= 4 && line.compare(line.size() - 4, 4, "tail") == 0)
+        << "corrupt line: " << line;
+    EXPECT_EQ(line.find("[INFO ", 1), std::string::npos) << "fused lines: " << line;
+  }
+  EXPECT_EQ(lines, kThreads * kLinesPerThread);
 }
 
 using LoggingDeathTest = ::testing::Test;

@@ -80,6 +80,38 @@ TEST(ReportJsonTest, ArrayFormsValidStructure) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST(PlanReportJsonTest, EmitsOneEntryPerTaskInPlanOrder) {
+  ExperimentPlan plan(/*plan_seed=*/11);
+  ExperimentOptions options;
+  options.model = TinyTestConfig();
+  options.seed = 5;
+  plan.AddOffline("fMoE", options, {"model=tiny", "system=fMoE"});
+  TraceProfile trace;
+  plan.AddOnline("MoE-Infinity", options, trace, 4, {"system=MoE-Infinity"});
+
+  std::ostringstream out;
+  WritePlanReportJson(plan, {SampleResult(), SampleResult()}, /*include_latencies=*/false, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"plan_seed\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"index\":0,\"system\":\"fMoE\",\"mode\":\"offline\",\"seed\":5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"index\":1,\"system\":\"MoE-Infinity\",\"mode\":\"online\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tags\":[\"model=tiny\",\"system=fMoE\"]"), std::string::npos);
+  // Task order in the report is plan order: fMoE's entry precedes MoE-Infinity's.
+  EXPECT_LT(json.find("\"system\":\"fMoE\""), json.find("\"system\":\"MoE-Infinity\""));
+}
+
+TEST(PlanReportJsonTest, MissingResultsSerializeAsNull) {
+  ExperimentPlan plan;
+  ExperimentOptions options;
+  options.model = TinyTestConfig();
+  plan.AddOffline("fMoE", options);
+  std::ostringstream out;
+  WritePlanReportJson(plan, {}, /*include_latencies=*/false, out);
+  EXPECT_NE(out.str().find("\"result\":null"), std::string::npos);
+}
+
 TEST(ReportCsvTest, HeaderAndRows) {
   std::ostringstream out;
   WriteResultsCsv({SampleResult()}, out);

@@ -1,0 +1,87 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace fmoe {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.thread_count(), 1);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilInFlightTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  pool.Submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    done.store(true, std::memory_order_release);
+  });
+  pool.Wait();
+  EXPECT_TRUE(done.load(std::memory_order_acquire));
+}
+
+TEST(ThreadPoolTest, SubmitAfterWaitKeepsWorking) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ParallelForIndexTest, VisitsEveryIndexExactlyOnce) {
+  constexpr size_t kCount = 257;
+  std::vector<std::atomic<int>> visits(kCount);
+  ParallelForIndex(kCount, 4, [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForIndexTest, SerialPathRunsInIndexOrderOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<size_t> order;
+  ParallelForIndex(5, 1, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForIndexTest, ZeroCountIsANoOp) {
+  ParallelForIndex(0, 4, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForIndexTest, MoreThreadsThanWorkStillCoversAllIndices) {
+  std::vector<std::atomic<int>> visits(3);
+  ParallelForIndex(3, 16, [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(visits[i].load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace fmoe
