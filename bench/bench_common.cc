@@ -2,6 +2,9 @@
 
 #include <fstream>
 
+#include "src/obs/perfetto_export.h"
+#include "src/obs/stall_report.h"
+#include "src/obs/trace_recorder.h"
 #include "src/util/flags.h"
 
 namespace fmoe {
@@ -15,6 +18,10 @@ bool ParseBenchArgs(int argc, const char* const* argv, const std::string& progra
                "output is byte-identical for any value");
   flags.AddString("out_json", "",
                   "also write a machine-readable report (plan + results) to this path");
+  flags.AddString("trace_out", "",
+                  "write a Chrome trace-event JSON (Perfetto-loadable) of one task here; "
+                  "stdout is unaffected");
+  flags.AddInt("trace_task", 0, "plan index of the task --trace_out covers (default 0)");
   std::string error;
   if (!flags.Parse(argc, argv, &error)) {
     if (flags.help_requested()) {
@@ -28,6 +35,8 @@ bool ParseBenchArgs(int argc, const char* const* argv, const std::string& progra
   }
   env->jobs = static_cast<int>(flags.GetInt("jobs"));
   env->out_json = flags.GetString("out_json");
+  env->trace_out = flags.GetString("trace_out");
+  env->trace_task = static_cast<int>(flags.GetInt("trace_task"));
   return true;
 }
 
@@ -45,9 +54,32 @@ int BenchMain(int argc, const char* const* argv, const std::string& program,
 
   RunnerOptions runner;
   runner.jobs = env.jobs;
+  TraceRecorder recorder;
+  if (!env.trace_out.empty()) {
+    if (env.trace_task < 0 || static_cast<size_t>(env.trace_task) >= plan.tasks().size()) {
+      std::cerr << "error: --trace_task " << env.trace_task << " out of range (plan has "
+                << plan.tasks().size() << " tasks)\n";
+      return 1;
+    }
+    runner.trace = &recorder;
+    runner.trace_task = static_cast<size_t>(env.trace_task);
+  }
   const std::vector<ExperimentResult> results = RunPlan(plan, runner);
 
   render(results, std::cout);
+
+  if (!env.trace_out.empty()) {
+    const ExperimentTask& traced = plan.tasks()[runner.trace_task];
+    const std::string process_name =
+        program + " [" + std::to_string(runner.trace_task) + "] " + traced.system;
+    if (!WriteChromeTraceFile(recorder, process_name, env.trace_out)) {
+      return 1;
+    }
+    // Stall attribution goes to stderr so stdout stays byte-identical to an untraced run.
+    std::cerr << "trace: " << recorder.events().size() << " events -> " << env.trace_out
+              << " (load in ui.perfetto.dev or chrome://tracing)\n"
+              << RenderStallReport(recorder.stall());
+  }
 
   if (!env.out_json.empty()) {
     const bool ok = WriteJsonFile(env.out_json, [&](std::ostream& out) {

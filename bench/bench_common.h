@@ -31,10 +31,13 @@ namespace bench {
 struct BenchEnv {
   int jobs = 1;           // Worker threads for the plan runner (0 = hardware threads).
   std::string out_json;   // Non-empty: also write a machine-readable report here.
+  std::string trace_out;  // Non-empty: write a Chrome trace (Perfetto-loadable) here.
+  int trace_task = 0;     // Plan index of the task the trace covers.
 };
 
-// Parses the shared flags (--jobs, --out_json, --help). Returns true to proceed; on false
-// *exit_code holds the process exit status (0 for --help, 1 for a malformed flag).
+// Parses the shared flags (--jobs, --out_json, --trace_out, --trace_task, --help). Returns
+// true to proceed; on false *exit_code holds the process exit status (0 for --help, 1 for a
+// malformed flag).
 bool ParseBenchArgs(int argc, const char* const* argv, const std::string& program,
                     const std::string& description, BenchEnv* env, int* exit_code);
 
@@ -43,6 +46,9 @@ using RenderFn = std::function<void(const std::vector<ExperimentResult>&, std::o
 
 // Standard bench entry point: declare the plan, run it at --jobs workers, render the tables
 // over the ordered results, and honour --out_json with a plan report (harness/report.h).
+// With --trace_out PATH, one task (--trace_task, default 0) runs with a TraceRecorder
+// attached; the Chrome trace-event JSON lands at PATH and the stall-attribution table goes to
+// stderr — stdout stays byte-identical to an untraced run.
 int BenchMain(int argc, const char* const* argv, const std::string& program,
               const std::string& description, const DeclareFn& declare,
               const RenderFn& render);

@@ -129,6 +129,11 @@ int main(int argc, char** argv) {
     return exit_code;
   }
 
+  if (!env.trace_out.empty()) {
+    std::cerr << "note: --trace_out is ignored: this bench measures data structures directly "
+                 "(no serving engine to trace)\n";
+  }
+
   PrintHeatmaps(MixtralConfig());
 
   std::vector<DatasetEntropy> by_dataset;

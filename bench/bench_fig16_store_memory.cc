@@ -20,6 +20,11 @@ int main(int argc, char** argv) {
     return exit_code;
   }
 
+  if (!env.trace_out.empty()) {
+    std::cerr << "note: --trace_out is ignored: this bench measures data structures directly "
+                 "(no serving engine to trace)\n";
+  }
+
   const std::vector<size_t> capacities{1000, 2000, 4000, 8000, 16000, 32000};
   // footprint_mb[capacity index][model index].
   std::vector<std::vector<double>> footprint_mb;

@@ -19,6 +19,11 @@ int main(int argc, char** argv) {
     return exit_code;
   }
 
+  if (!env.trace_out.empty()) {
+    std::cerr << "note: --trace_out is ignored: this bench measures data structures directly "
+                 "(no serving engine to trace)\n";
+  }
+
   fmoe::PrintBanner(std::cout, "Table 1: Characteristics of three MoE models in evaluation");
   AsciiTable table({"MoE Model", "Parameters (active/total, B)", "Experts/Layer (active/total)",
                     "Num. Layers", "Expert size (MB)", "Decode compute floor (ms/iter)"});

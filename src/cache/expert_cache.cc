@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace_recorder.h"
 #include "src/util/logging.h"
 
 namespace fmoe {
@@ -420,6 +421,19 @@ bool ExpertCache::Insert(const CacheEntry& entry, double now, std::vector<CacheE
   if (evicted != nullptr) {
     evicted->assign(victims_scratch_.begin(), victims_scratch_.end());
   }
+  if (trace_) {
+    for (const CacheEntry& victim : victims_scratch_) {
+      trace_->OnEvicted(victim.key);
+      trace_->Instant(trace_track_, "evict", "cache", now,
+                      {TraceArg::Uint("key", victim.key), TraceArg::Uint("bytes", victim.bytes),
+                       TraceArg::Uint("for_key", entry.key)});
+    }
+    trace_->Instant(trace_track_, "insert", "cache", now,
+                    {TraceArg::Uint("key", entry.key), TraceArg::Uint("bytes", entry.bytes),
+                     TraceArg::Int("prefetch", entry.prefetch_pending ? 1 : 0)});
+    trace_->Counter(trace_track_, "cache.used_bytes", now, static_cast<double>(used_bytes_));
+    trace_->Counter(trace_track_, "cache.entries", now, static_cast<double>(occupied_));
+  }
   return true;
 }
 
@@ -432,6 +446,15 @@ bool ExpertCache::Remove(uint64_t key, CacheEntry* removed) {
   const CacheEntry out = RemoveResident(key);
   if (removed != nullptr) {
     *removed = out;
+  }
+  if (trace_) {
+    // Policy-driven removal loses a prefetched copy the same way an eviction does.
+    trace_->OnEvicted(key);
+    const double now = trace_->now();
+    trace_->Instant(trace_track_, "remove", "cache", now,
+                    {TraceArg::Uint("key", key), TraceArg::Uint("bytes", out.bytes)});
+    trace_->Counter(trace_track_, "cache.used_bytes", now, static_cast<double>(used_bytes_));
+    trace_->Counter(trace_track_, "cache.entries", now, static_cast<double>(occupied_));
   }
   return true;
 }

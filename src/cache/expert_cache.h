@@ -25,6 +25,8 @@
 
 namespace fmoe {
 
+class TraceRecorder;
+
 struct CacheStats {
   uint64_t insertions = 0;
   uint64_t evictions = 0;
@@ -112,6 +114,14 @@ class ExpertCache {
   const CacheStats& stats() const { return stats_; }
   const CacheIndexStats& index_stats() const { return index_stats_; }
   const IterationOrderOracle::Stats& order_stats() const { return oracle_.stats(); }
+
+  // Attaches a trace recorder (pure observer: never influences eviction decisions).
+  // Insert/evict/remove decisions become instants on `track` plus occupancy counters, and
+  // evictions feed the recorder's evicted-before-use stall-attribution state.
+  void set_trace(TraceRecorder* trace, int track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
 
   bool Contains(uint64_t key) const { return LookupSlot(key) != kNilSlot; }
   // Invalid (false) ref when absent. Invalidated by Insert/Remove.
@@ -210,6 +220,8 @@ class ExpertCache {
 
   uint64_t capacity_bytes_;
   const EvictionPolicy* policy_;  // Not owned.
+  TraceRecorder* trace_ = nullptr;  // Not owned; null = tracing disabled.
+  int trace_track_ = 0;
   bool uses_frequency_ = false;
   bool uses_probability_ = false;
   uint64_t used_bytes_ = 0;

@@ -32,6 +32,7 @@ EngineConfig MakeEngineConfig(const ExperimentOptions& options, const SystemSpec
   config.seed = options.seed;
   config.matcher_latency_scale = options.matcher_latency_scale;
   config.matcher_queue_depth = options.matcher_queue_depth;
+  config.trace = options.trace;
   return config;
 }
 

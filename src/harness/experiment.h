@@ -23,6 +23,8 @@
 
 namespace fmoe {
 
+class TraceRecorder;
+
 struct ExperimentOptions {
   ModelConfig model;
   DatasetProfile dataset;
@@ -50,6 +52,10 @@ struct ExperimentOptions {
   double low_precision_threshold = 0.0;
   GateProfile gate;
   HardwareProfile hardware;
+  // Optional virtual-time trace recorder (not owned; must outlive the run). Pure observer:
+  // attaching one changes nothing about the run. For RunOffline the warmup phase resets it,
+  // so the recorded trace covers exactly the measured requests.
+  TraceRecorder* trace = nullptr;
 };
 
 struct ExperimentResult {

@@ -4,15 +4,22 @@
 
 namespace fmoe {
 
-ExperimentResult RunTask(const ExperimentTask& task) {
-  switch (task.mode) {
+ExperimentResult RunTask(const ExperimentTask& task, TraceRecorder* trace) {
+  const ExperimentTask* run = &task;
+  ExperimentTask traced;
+  if (trace != nullptr) {
+    traced = task;
+    traced.options.trace = trace;
+    run = &traced;
+  }
+  switch (run->mode) {
     case ExperimentMode::kOffline:
-      return RunOffline(task.system, task.options);
+      return RunOffline(run->system, run->options);
     case ExperimentMode::kOnline:
-      return RunOnline(task.system, task.options, task.trace, task.request_count);
+      return RunOnline(run->system, run->options, run->trace, run->request_count);
     case ExperimentMode::kScheduled:
-      return RunScheduled(task.system, task.options, task.trace, task.request_count,
-                          task.scheduler);
+      return RunScheduled(run->system, run->options, run->trace, run->request_count,
+                          run->scheduler);
   }
   return ExperimentResult{};  // Unreachable; all modes handled above.
 }
@@ -26,7 +33,9 @@ std::vector<ExperimentResult> RunPlan(const ExperimentPlan& plan, const RunnerOp
   // jobs=1 and load-balances across a pool otherwise. Either way the returned vector is in
   // plan order, so downstream rendering cannot observe the execution schedule.
   ParallelForIndex(tasks.size(), jobs, [&](size_t index) {
-    results[index] = RunTask(tasks[index]);
+    TraceRecorder* trace =
+        (options.trace != nullptr && index == options.trace_task) ? options.trace : nullptr;
+    results[index] = RunTask(tasks[index], trace);
     if (on_done) {
       on_done(index);
     }

@@ -21,10 +21,17 @@ struct RunnerOptions {
   // Worker threads. 1 = run inline on the calling thread (no pool); <= 0 = one per
   // hardware thread.
   int jobs = 1;
+  // Optional trace recorder attached to exactly one task (`trace_task`, a plan index). One
+  // task because a recorder holds a single virtual timeline; tracing never changes results,
+  // so traced runs stay bitwise identical to untraced ones at any job count. The recorder is
+  // written from whichever worker runs that task — do not share it across concurrent plans.
+  TraceRecorder* trace = nullptr;  // Not owned.
+  size_t trace_task = 0;
 };
 
-// Executes one task (the dispatch RunPlan applies per entry; exposed for tests).
-ExperimentResult RunTask(const ExperimentTask& task);
+// Executes one task (the dispatch RunPlan applies per entry; exposed for tests). A non-null
+// `trace` is attached to the task's engine for the duration of the run.
+ExperimentResult RunTask(const ExperimentTask& task, TraceRecorder* trace = nullptr);
 
 // Executes the whole plan and returns results in plan order (results[i] belongs to
 // plan.tasks()[i]). The optional `on_done` callback fires after each task completes —

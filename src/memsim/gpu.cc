@@ -1,7 +1,9 @@
 #include "src/memsim/gpu.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "src/obs/trace_recorder.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
@@ -15,6 +17,10 @@ bool GpuDevice::Allocate(uint64_t bytes) {
     return false;
   }
   used_bytes_ += bytes;
+  if (trace_) {
+    trace_->Counter(trace_track_, trace_counter_, trace_->now(),
+                    static_cast<double>(used_bytes_));
+  }
   return true;
 }
 
@@ -22,6 +28,16 @@ void GpuDevice::Free(uint64_t bytes) {
   FMOE_CHECK_MSG(bytes <= used_bytes_, "freeing " << bytes << " with only " << used_bytes_
                                                   << " allocated");
   used_bytes_ -= bytes;
+  if (trace_) {
+    trace_->Counter(trace_track_, trace_counter_, trace_->now(),
+                    static_cast<double>(used_bytes_));
+  }
+}
+
+void GpuDevice::set_trace(TraceRecorder* trace, int track, std::string counter_name) {
+  trace_ = trace;
+  trace_track_ = track;
+  trace_counter_ = std::move(counter_name);
 }
 
 GpuCluster::GpuCluster(int device_count, const GpuConfig& config) {

@@ -9,11 +9,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/memsim/link.h"
 
 namespace fmoe {
+
+class TraceRecorder;
 
 struct GpuConfig {
   uint64_t memory_bytes = 24ULL << 30;  // RTX 3090: 24 GB.
@@ -33,6 +36,10 @@ class GpuDevice {
   bool Allocate(uint64_t bytes);
   void Free(uint64_t bytes);
 
+  // Attaches a trace recorder (pure observer): memory-accounting changes are recorded as a
+  // `counter_name` counter on `track`, stamped with the recorder's time source.
+  void set_trace(TraceRecorder* trace, int track, std::string counter_name);
+
   PcieLink& link() { return link_; }
   const PcieLink& link() const { return link_; }
 
@@ -41,6 +48,9 @@ class GpuDevice {
   GpuConfig config_;
   uint64_t used_bytes_ = 0;
   PcieLink link_;
+  TraceRecorder* trace_ = nullptr;  // Not owned; null = tracing disabled.
+  int trace_track_ = 0;
+  std::string trace_counter_;
 };
 
 // How expert keys map to devices. Placement decides which host link an expert's transfers

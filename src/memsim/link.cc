@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace_recorder.h"
 #include "src/util/logging.h"
 
 namespace fmoe {
@@ -28,6 +29,11 @@ bool PcieLink::CancelQueuedPrefetch(uint64_t tag) {
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (it->tag == tag) {
       queue_.erase(it);
+      if (trace_) {
+        // Preemption evidence: a demand load (or eviction) pulled this queued prefetch.
+        trace_->Instant(trace_track_, "prefetch-cancelled", "transfer", last_now_,
+                        {TraceArg::Uint("tag", tag)});
+      }
       return true;
     }
   }
@@ -47,6 +53,11 @@ void PcieLink::StartEligiblePrefetches(double now) {
     busy_until_ = completion;
     total_prefetch_bytes_ += next.bytes;
     ++prefetch_count_;
+    if (trace_) {
+      trace_->Span(trace_track_, "prefetch", "transfer", start, completion,
+                   {TraceArg::Uint("tag", next.tag), TraceArg::Uint("bytes", next.bytes),
+                    TraceArg::Num("queued_s", start - next.enqueue_time)});
+    }
     if (on_complete_) {
       on_complete_(next.tag, completion);
     }
@@ -66,6 +77,11 @@ double PcieLink::DemandLoad(double now, uint64_t bytes) {
   ++demand_load_count_;
   total_demand_wait_sec_ += completion - now;
   last_now_ = now;
+  if (trace_) {
+    trace_->Span(trace_track_, "demand-load", "transfer", start, completion,
+                 {TraceArg::Uint("bytes", bytes), TraceArg::Num("wait_s", start - now),
+                  TraceArg::Uint("paused_prefetches", queue_.size())});
+  }
   return completion;
 }
 

@@ -22,6 +22,8 @@
 
 namespace fmoe {
 
+class TraceRecorder;
+
 struct LinkConfig {
   double bandwidth_bytes_per_sec = 32.0e9;  // PCIe 4.0 x16 as in the paper's testbed.
   double fixed_latency_sec = 15e-6;         // Per-transfer setup cost (driver + DMA launch).
@@ -35,6 +37,13 @@ class PcieLink {
   explicit PcieLink(const LinkConfig& config);
 
   void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+
+  // Attaches a trace recorder (pure observer: never changes link behaviour). Transfers are
+  // recorded as spans on `track`, preemption cancellations as instants.
+  void set_trace(TraceRecorder* trace, int track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
 
   // Queues an asynchronous prefetch of `bytes` tagged `tag`. Returns immediately; the transfer
   // starts when the link becomes free at or after `now`.
@@ -80,6 +89,8 @@ class PcieLink {
 
   LinkConfig config_;
   CompletionCallback on_complete_;
+  TraceRecorder* trace_ = nullptr;  // Not owned; null = tracing disabled.
+  int trace_track_ = 0;
   std::deque<PendingTransfer> queue_;
   double busy_until_ = 0.0;
   double last_now_ = 0.0;

@@ -1,0 +1,185 @@
+#include "src/obs/perfetto_export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <vector>
+
+#include "src/obs/trace_recorder.h"
+#include "src/util/logging.h"
+
+namespace fmoe {
+namespace {
+
+// JSON string escaping for the small character set our event names can contain.
+void WriteJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// Virtual seconds → trace microseconds, printed with fixed sub-µs precision so timestamps
+// are stable across platforms (no locale/shortest-float variance).
+void WriteMicros(std::ostream& out, double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  out << buf;
+}
+
+void WriteCounterValue(std::ostream& out, double v) {
+  if (v == static_cast<long long>(v) && std::abs(v) < 1e15) {
+    out << static_cast<long long>(v);
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out << buf;
+  }
+}
+
+void WriteArgs(std::ostream& out, const std::vector<TraceArg>& args) {
+  out << "\"args\":{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out << ',';
+    WriteJsonString(out, args[i].key);
+    out << ':';
+    if (args[i].numeric) {
+      out << args[i].value;
+    } else {
+      WriteJsonString(out, args[i].value);
+    }
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void WriteChromeTraceJson(const TraceRecorder& recorder, const std::string& process_name,
+                          std::ostream& out) {
+  constexpr int kPid = 1;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+
+  // Metadata first: process name, then one thread_name + thread_sort_index per track so
+  // Perfetto shows tracks in registration order with their human names.
+  sep();
+  out << "{\"ph\":\"M\",\"pid\":" << kPid << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":";
+  WriteJsonString(out, process_name);
+  out << "}}";
+  const std::vector<std::string>& tracks = recorder.track_names();
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    const int tid = static_cast<int>(i) + 1;
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << kPid << ",\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    WriteJsonString(out, tracks[i]);
+    out << "}}";
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << kPid << ",\"tid\":" << tid
+        << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" << tid << "}}";
+  }
+
+  // Events sorted by timestamp (stable: ties keep emission order, which is causal order).
+  const std::vector<TraceEvent>& events = recorder.events();
+  std::vector<size_t> order(events.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return events[a].start_s < events[b].start_s;
+  });
+
+  for (size_t idx : order) {
+    const TraceEvent& ev = events[idx];
+    sep();
+    switch (ev.phase) {
+      case TracePhase::kSpan:
+        out << "{\"ph\":\"X\",\"pid\":" << kPid << ",\"tid\":" << ev.track << ",\"ts\":";
+        WriteMicros(out, ev.start_s);
+        out << ",\"dur\":";
+        WriteMicros(out, std::max(0.0, ev.end_s - ev.start_s));
+        out << ",\"name\":";
+        WriteJsonString(out, ev.name);
+        out << ",\"cat\":";
+        WriteJsonString(out, ev.category);
+        out << ',';
+        WriteArgs(out, ev.args);
+        out << '}';
+        break;
+      case TracePhase::kInstant:
+        out << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kPid << ",\"tid\":" << ev.track
+            << ",\"ts\":";
+        WriteMicros(out, ev.start_s);
+        out << ",\"name\":";
+        WriteJsonString(out, ev.name);
+        out << ",\"cat\":";
+        WriteJsonString(out, ev.category);
+        out << ',';
+        WriteArgs(out, ev.args);
+        out << '}';
+        break;
+      case TracePhase::kCounter:
+        out << "{\"ph\":\"C\",\"pid\":" << kPid << ",\"tid\":" << ev.track << ",\"ts\":";
+        WriteMicros(out, ev.start_s);
+        out << ",\"name\":";
+        WriteJsonString(out, ev.name);
+        out << ",\"args\":{\"value\":";
+        WriteCounterValue(out, ev.value);
+        out << "}}";
+        break;
+    }
+  }
+
+  out << "\n],\n\"stallAttribution\":{";
+  const StallAttribution& stall = recorder.stall();
+  for (size_t i = 0; i < stall.seconds.size(); ++i) {
+    if (i > 0) out << ',';
+    WriteJsonString(out, StallClassName(static_cast<StallClass>(i)));
+    out << ":{\"seconds\":";
+    WriteCounterValue(out, stall.seconds[i]);
+    out << ",\"misses\":" << stall.misses[i] << '}';
+  }
+  out << ",\"totalSeconds\":";
+  WriteCounterValue(out, stall.total_seconds);
+  out << ",\"totalMisses\":" << stall.total_misses << "}\n}\n";
+}
+
+bool WriteChromeTraceFile(const TraceRecorder& recorder, const std::string& process_name,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    FMOE_LOG(::fmoe::LogLevel::kError, "cannot open trace output file: " << path);
+    return false;
+  }
+  WriteChromeTraceJson(recorder, process_name, out);
+  return out.good();
+}
+
+}  // namespace fmoe

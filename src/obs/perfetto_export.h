@@ -1,0 +1,30 @@
+// Chrome trace-event JSON export for TraceRecorder (DESIGN.md §5f).
+//
+// The output is the "JSON Array Format" variant of the Chrome trace-event spec wrapped in an
+// object (`{"traceEvents": [...], ...}`), which both Perfetto (ui.perfetto.dev) and
+// chrome://tracing load directly. Virtual-time seconds map to trace microseconds (×1e6);
+// every recorder track becomes a named pseudo-thread (tid) inside a single process whose
+// name identifies the run. The recorder's stall attribution is embedded under a top-level
+// "stallAttribution" key — ignored by viewers, machine-readable for scripts.
+#ifndef FMOE_SRC_OBS_PERFETTO_EXPORT_H_
+#define FMOE_SRC_OBS_PERFETTO_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+namespace fmoe {
+
+class TraceRecorder;
+
+// Serialises `recorder` as Chrome trace-event JSON. `process_name` labels the single pid
+// (e.g. "fmoe mixtral-8x7b offline"). Deterministic: output depends only on recorded events.
+void WriteChromeTraceJson(const TraceRecorder& recorder, const std::string& process_name,
+                          std::ostream& out);
+
+// File wrapper; returns false (after logging) if the file cannot be opened.
+bool WriteChromeTraceFile(const TraceRecorder& recorder, const std::string& process_name,
+                          const std::string& path);
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_OBS_PERFETTO_EXPORT_H_

@@ -1,0 +1,29 @@
+#include "src/obs/stall_report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/obs/trace_recorder.h"
+#include "src/util/table.h"
+
+namespace fmoe {
+
+std::string RenderStallReport(const StallAttribution& stall) {
+  std::ostringstream out;
+  out << "Demand-stall attribution (virtual seconds):\n";
+  AsciiTable table({"cause", "seconds", "misses", "share"});
+  for (size_t i = 0; i < stall.seconds.size(); ++i) {
+    const double share =
+        stall.total_seconds > 0.0 ? stall.seconds[i] / stall.total_seconds * 100.0 : 0.0;
+    char share_buf[32];
+    std::snprintf(share_buf, sizeof(share_buf), "%.1f%%", share);
+    table.AddRow({StallClassName(static_cast<StallClass>(i)), AsciiTable::Num(stall.seconds[i], 6),
+                  std::to_string(stall.misses[i]), share_buf});
+  }
+  table.AddRow({"total", AsciiTable::Num(stall.total_seconds, 6),
+                std::to_string(stall.total_misses), "100.0%"});
+  table.Print(out);
+  return out.str();
+}
+
+}  // namespace fmoe

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/trace_recorder.h"
 #include "src/util/logging.h"
 
 namespace fmoe {
@@ -36,6 +37,11 @@ uint64_t MatcherWorker::Publish(double now, DeferredJob job, std::vector<Deferre
       DeferredJob stale;
       if (queue_.Cancel(it->second, &stale)) {
         topic_of_seq_.erase(stale.seq);
+        if (trace_) {
+          trace_->Instant(trace_track_, "superseded", "matcher", now,
+                          {TraceArg::Uint("topic", stale.topic),
+                           TraceArg::Num("wasted_s", stale.cost_seconds)});
+        }
         victims->push_back(std::move(stale));
       }
       pending_topic_.erase(it);
@@ -52,6 +58,11 @@ uint64_t MatcherWorker::Publish(double now, DeferredJob job, std::vector<Deferre
       pending_topic_.erase(topic_it->second);
       topic_of_seq_.erase(topic_it);
     }
+    if (trace_) {
+      trace_->Instant(trace_track_, "dropped", "matcher", now,
+                      {TraceArg::Uint("topic", oldest.topic),
+                       TraceArg::Num("wasted_s", oldest.cost_seconds)});
+    }
     victims->push_back(std::move(oldest));
   }
 
@@ -65,6 +76,15 @@ uint64_t MatcherWorker::Publish(double now, DeferredJob job, std::vector<Deferre
   if (job.topic != 0) {
     pending_topic_[job.topic] = job.seq;
     topic_of_seq_[job.seq] = job.topic;
+  }
+  if (trace_) {
+    // The span covers the worker's modeled occupancy, not the queue wait — "match-job", not
+    // the overhead-category name, so it never collides with the engine's sync-overhead spans.
+    trace_->Span(trace_track_, "match-job", "matcher", job.start_time, job.completion_time,
+                 {TraceArg::Uint("seq", job.seq), TraceArg::Uint("topic", job.topic),
+                  TraceArg::Str("category", OverheadCategoryName(job.category)),
+                  TraceArg::Num("queued_s", job.start_time - job.publish_time)});
+    trace_->Counter(trace_track_, "matcher.pending", now, static_cast<double>(queue_.size()));
   }
   return job.seq;
 }
@@ -80,6 +100,9 @@ bool MatcherWorker::PopDue(double now, DeferredJob* out) {
   if (topic_it != topic_of_seq_.end()) {
     pending_topic_.erase(topic_it->second);
     topic_of_seq_.erase(topic_it);
+  }
+  if (trace_) {
+    trace_->Counter(trace_track_, "matcher.pending", now, static_cast<double>(queue_.size()));
   }
   return true;
 }

@@ -29,6 +29,8 @@
 
 namespace fmoe {
 
+class TraceRecorder;
+
 // One scheduled deferred job. publish/start/completion describe the worker timeline:
 // start = max(publish_time, worker free), completion = start + latency_scale * cost.
 struct DeferredJob {
@@ -78,6 +80,13 @@ class MatcherWorker {
   size_t pending() const { return queue_.size(); }
   double worker_free_at() const { return worker_free_at_; }
 
+  // Attaches a trace recorder (pure observer). Each scheduled job becomes a span on `track`
+  // covering its modeled worker occupancy; supersessions and depth drops become instants.
+  void set_trace(TraceRecorder* trace, int track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
   // Schedules a job published at `now` and returns its queue sequence number. Appends any
   // superseded/depth-dropped victims to `*victims` (never null) so the caller can account
   // their wasted work. Must not be called when synchronous().
@@ -92,6 +101,8 @@ class MatcherWorker {
  private:
   double latency_scale_;
   int queue_depth_;
+  TraceRecorder* trace_ = nullptr;  // Not owned; null = tracing disabled.
+  int trace_track_ = 0;
   double worker_free_at_ = 0.0;
   EventQueue<DeferredJob> queue_;
   // topic -> pending queue seq, for supersession. Entries are erased on pop/cancel.

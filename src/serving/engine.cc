@@ -33,12 +33,28 @@ ServingEngine::ServingEngine(const ModelConfig& model, const EngineConfig& confi
       cache_(config.expert_cache_bytes == 0 ? model.total_expert_bytes()
                                             : config.expert_cache_bytes,
              eviction_policy_.get()),
-      matcher_(config.matcher_latency_scale, config.matcher_queue_depth) {
+      matcher_(config.matcher_latency_scale, config.matcher_queue_depth),
+      trace_(config.trace) {
   FMOE_CHECK(policy != nullptr);
   FMOE_CHECK(config.prefetch_distance >= 1);
   cluster_.SetPlacement(config.placement, static_cast<uint64_t>(model.total_experts()));
   prefetch_pinned_by_layer_.resize(static_cast<size_t>(model.num_layers));
   tokens_by_expert_.resize(static_cast<size_t>(model.experts_per_layer), 0);
+  if (trace_ != nullptr) {
+    // Pseudo-thread layout (DESIGN.md §5f): the engine's critical path first, then the
+    // matcher and cache timelines, then one link + one memory track per device. Request
+    // lifecycle tracks are registered lazily per batch slot.
+    trace_->SetTimeSource([this] { return clock_.now(); });
+    trace_engine_track_ = trace_->RegisterTrack("engine");
+    matcher_.set_trace(trace_, trace_->RegisterTrack("matcher"));
+    cache_.set_trace(trace_, trace_->RegisterTrack("cache"));
+    for (int dev = 0; dev < cluster_.device_count(); ++dev) {
+      const std::string prefix = "gpu" + std::to_string(dev);
+      cluster_.device(dev).link().set_trace(trace_, trace_->RegisterTrack(prefix + "/link"));
+      cluster_.device(dev).set_trace(trace_, trace_->RegisterTrack(prefix + "/mem"),
+                                     prefix + ".used_bytes");
+    }
+  }
   // Wire prefetch-start events from every device link back into cache bookkeeping.
   for (int dev = 0; dev < cluster_.device_count(); ++dev) {
     cluster_.device(dev).link().set_completion_callback(
@@ -141,6 +157,12 @@ void ServingEngine::PrefetchAsyncSized(ExpertId id, double probability, double /
     ++prefetch_pinned_count_;
   }
   device.link().EnqueuePrefetch(clock_.now(), tag, entry.bytes);
+  if (trace_ != nullptr) {
+    trace_->OnPrefetchIssued(key);
+    trace_->Instant(trace_engine_track_, "prefetch-issue", "prefetch", clock_.now(),
+                    {TraceArg::Int("layer", id.layer), TraceArg::Int("expert", id.expert),
+                     TraceArg::Num("prob", probability), TraceArg::Uint("tag", tag)});
+  }
 }
 
 void ServingEngine::ReleasePrefetchPins(int completed_layer) {
@@ -192,6 +214,15 @@ void ServingEngine::BlockingLoad(ExpertId id, double probability) {
     }
   }
   const double stall = std::max(0.0, ready - clock_.now());
+  if (trace_ != nullptr) {
+    // Blocking loads are policy-initiated (speculative baselines): the wait is charged to
+    // sync overhead, NOT demand_stall, so it must not feed the stall attribution. The loaded
+    // copy does count as prefetch intent for later evicted-before-use classification.
+    trace_->OnPrefetchIssued(key);
+    trace_->Span(trace_engine_track_, "blocking-load", "stall", clock_.now(),
+                 clock_.now() + stall,
+                 {TraceArg::Int("layer", id.layer), TraceArg::Int("expert", id.expert)});
+  }
   clock_.AdvanceTo(ready);
   metrics_.breakdown().sync_overhead[static_cast<size_t>(OverheadCategory::kPrefetchIssue)] +=
       stall;
@@ -213,6 +244,12 @@ std::vector<double> ServingEngine::SpeculativeGate(const RequestRouting& routing
 
 void ServingEngine::AddOverhead(OverheadCategory category, double seconds) {
   FMOE_CHECK(seconds >= 0.0);
+  if (trace_ != nullptr) {
+    // Named by category ("context-collection", "map-matching", ...) so per-category sums
+    // reconcile against LatencyBreakdown::sync_overhead.
+    trace_->Span(trace_engine_track_, OverheadCategoryName(category), "overhead", clock_.now(),
+                 clock_.now() + seconds);
+  }
   clock_.Advance(seconds);
   metrics_.breakdown().sync_overhead[static_cast<size_t>(category)] += seconds;
 }
@@ -330,6 +367,9 @@ ServingEngine::ExpertJob ServingEngine::IssueExpert(ExpertId id, int tokens_rout
       const bool allocated = cluster_.DeviceFor(key).Allocate(model_.expert_bytes);
       FMOE_CHECK(allocated);
     }
+    if (trace_ != nullptr) {
+      job.stall_class = trace_->ClassifyMiss(key, TraceRecorder::MissKind::kNeverResident);
+    }
   } else if (entry.prefetch_pending()) {
     // Prefetch was enqueued but its transfer never started: promote to a demand load, which
     // jumps ahead of all queued prefetches ("pauses all expert prefetching tasks", §4.5).
@@ -339,10 +379,16 @@ ServingEngine::ExpertJob ServingEngine::IssueExpert(ExpertId id, int tokens_rout
     job.ready_at = link.DemandLoad(clock_.now(), entry.bytes());
     entry.set_ready_at(job.ready_at);
     entry.set_prefetch_pending(false);
+    if (trace_ != nullptr) {
+      job.stall_class = trace_->ClassifyMiss(key, TraceRecorder::MissKind::kQueuedPromoted);
+    }
   } else if (entry.ready_at() > clock_.now()) {
     // Prefetch in flight but late: wait out the remainder. Still a miss by the paper's
     // definition (weights not available when the gate asked), but cheaper than a full load.
     job.ready_at = entry.ready_at();
+    if (trace_ != nullptr) {
+      job.stall_class = trace_->ClassifyMiss(key, TraceRecorder::MissKind::kInFlightLate);
+    }
   } else {
     job.hit = true;
   }
@@ -359,6 +405,7 @@ void ServingEngine::CompleteExpert(const ExpertJob& job) {
   const uint64_t key = KeyOf(job.id);
   // All of a layer's demand transfers were issued up front, so they proceed in parallel on
   // their device links; the compute loop only waits out whatever has not yet landed.
+  const double stall_start = clock_.now();
   const double stall = std::max(0.0, job.ready_at - clock_.now());
   clock_.AdvanceTo(job.ready_at);
   metrics_.breakdown().demand_stall += stall;
@@ -371,11 +418,37 @@ void ServingEngine::CompleteExpert(const ExpertJob& job) {
   } else {
     metrics_.RecordMiss();
   }
+  if (trace_ != nullptr) {
+    if (!job.hit) {
+      // One AttributeStall per served miss, in serve order — the identical addition sequence
+      // as the demand_stall accumulation above, so the totals stay bitwise equal.
+      trace_->AttributeStall(job.stall_class, stall);
+      if (stall > 0.0) {
+        trace_->Span(trace_engine_track_, "demand-stall", "stall", stall_start, job.ready_at,
+                     {TraceArg::Int("layer", job.id.layer), TraceArg::Int("expert", job.id.expert),
+                      TraceArg::Str("cause", StallClassName(job.stall_class))});
+      }
+    }
+    std::vector<TraceArg> args = {TraceArg::Int("layer", job.id.layer),
+                                  TraceArg::Int("expert", job.id.expert)};
+    if (!job.hit) {
+      args.push_back(TraceArg::Str("cause", StallClassName(job.stall_class)));
+    }
+    trace_->Instant(trace_engine_track_, job.hit ? "hit" : "miss", "cache", clock_.now(),
+                    std::move(args));
+    trace_->OnExpertServed(key);
+  }
   if (job.resident) {
     cache_.Touch(key, clock_.now());
   }
   const double compute_time = cost_.ExpertComputeTime(job.tokens_routed);
   metrics_.breakdown().expert_compute += compute_time;
+  if (trace_ != nullptr) {
+    trace_->Span(trace_engine_track_, "expert", "compute", clock_.now(),
+                 clock_.now() + compute_time,
+                 {TraceArg::Int("layer", job.id.layer), TraceArg::Int("expert", job.id.expert),
+                  TraceArg::Int("tokens", job.tokens_routed)});
+  }
   clock_.Advance(compute_time);
   if (job.resident) {
     cache_.Unpin(key);
@@ -410,6 +483,11 @@ double ServingEngine::RunIteration(std::vector<BatchMember*>& active) {
     }
     const double attention_time = cost_.AttentionTime(attention_tokens);
     metrics_.breakdown().attention_compute += attention_time;
+    if (trace_ != nullptr) {
+      trace_->Span(trace_engine_track_, "attention", "compute", clock_.now(),
+                   clock_.now() + attention_time,
+                   {TraceArg::Int("layer", layer), TraceArg::Int("tokens", attention_tokens)});
+    }
     clock_.Advance(attention_time);
     // Layer boundary: apply matcher jobs whose modeled completion fell during the attention
     // pass — the subscription point of the pub-sub pipeline. Deferred prefetch commands thus
@@ -459,6 +537,10 @@ double ServingEngine::RunIteration(std::vector<BatchMember*>& active) {
     }
     ReleasePrefetchPins(layer);
     metrics_.breakdown().layer_overhead += cost_.LayerOverhead();
+    if (trace_ != nullptr) {
+      trace_->Span(trace_engine_track_, "layer-overhead", "compute", clock_.now(),
+                   clock_.now() + cost_.LayerOverhead(), {TraceArg::Int("layer", layer)});
+    }
     clock_.Advance(cost_.LayerOverhead());
   }
   DrainDeferred();
@@ -474,6 +556,17 @@ double ServingEngine::RunIteration(std::vector<BatchMember*>& active) {
   metrics_.RecordIteration(duration, all_prefill, metrics_.expert_hits() - hits_before,
                            metrics_.expert_misses() - misses_before);
   return duration;
+}
+
+int ServingEngine::TraceSlotTrack(int slot) {
+  const size_t idx = static_cast<size_t>(slot);
+  if (idx >= trace_slot_tracks_.size()) {
+    trace_slot_tracks_.resize(idx + 1, 0);
+  }
+  if (trace_slot_tracks_[idx] == 0) {
+    trace_slot_tracks_[idx] = trace_->RegisterTrack("requests/slot" + std::to_string(slot));
+  }
+  return trace_slot_tracks_[idx];
 }
 
 void ServingEngine::AdmitRequest(const Request& request) {
@@ -520,6 +613,20 @@ bool ServingEngine::StepIteration() {
       member->metrics.decode_iterations = member->total_iterations - 1;
       metrics_.RecordRequest(member->metrics);
       policy_->OnRequestCompleted(*this, member->context);
+      if (trace_ != nullptr) {
+        // Request lifecycle on the slot's own track: queued -> prefill -> decode. Emitted at
+        // completion, when all three boundaries are known.
+        const RequestMetrics& rm = member->metrics;
+        const int track = TraceSlotTrack(member->context.batch_slot);
+        const std::vector<TraceArg> id_arg = {TraceArg::Uint("request", rm.request_id)};
+        trace_->Span(track, "queued", "request", rm.arrival_time, rm.start_time, id_arg);
+        trace_->Span(track, "prefill", "request", rm.start_time, rm.first_token_time,
+                     {TraceArg::Uint("request", rm.request_id),
+                      TraceArg::Int("prompt_tokens", member->request.prompt_tokens)});
+        trace_->Span(track, "decode", "request", rm.first_token_time, rm.completion_time,
+                     {TraceArg::Uint("request", rm.request_id),
+                      TraceArg::Int("decode_iterations", rm.decode_iterations)});
+      }
       completed_.push_back(member->metrics);
       free_slots_.insert(member->context.batch_slot);
     } else {

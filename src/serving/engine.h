@@ -24,6 +24,7 @@
 #include "src/moe/embedding.h"
 #include "src/moe/gate_simulator.h"
 #include "src/moe/model_config.h"
+#include "src/obs/trace_recorder.h"
 #include "src/serving/deferred.h"
 #include "src/serving/metrics.h"
 #include "src/serving/policy.h"
@@ -51,6 +52,9 @@ struct EngineConfig {
   double matcher_latency_scale = 0.0;
   // Bound on pending deferred jobs; past it the oldest pending job is dropped.
   int matcher_queue_depth = 32;
+  // Optional virtual-time trace recorder (not owned; must outlive the engine). A pure
+  // observer: attaching one changes no timing, metrics, or policy decisions (DESIGN.md §5f).
+  TraceRecorder* trace = nullptr;
 };
 
 class ServingEngine : public EngineHandle {
@@ -87,7 +91,14 @@ class ServingEngine : public EngineHandle {
 
   RunMetrics& metrics() { return metrics_; }
   const RunMetrics& metrics() const { return metrics_; }
-  void ResetMetrics() { metrics_ = RunMetrics(); }
+  // Also clears the attached trace so the recorded events and the stall attribution cover
+  // exactly the window the metrics describe (warmup runs are discarded from both).
+  void ResetMetrics() {
+    metrics_ = RunMetrics();
+    if (trace_ != nullptr) {
+      trace_->ClearEvents();
+    }
+  }
 
   const ExpertCache& cache() const { return cache_; }
   const GpuCluster& cluster() const { return cluster_; }
@@ -141,6 +152,8 @@ class ServingEngine : public EngineHandle {
     double ready_at = 0.0;
     bool hit = false;
     bool resident = false;
+    // Stall cause classified at issue time (tracing only; meaningless for hits).
+    StallClass stall_class = StallClass::kNeverPrefetched;
   };
   ExpertJob IssueExpert(ExpertId id, int tokens_routed);
   void CompleteExpert(const ExpertJob& job);
@@ -163,6 +176,9 @@ class ServingEngine : public EngineHandle {
 
   void PreloadAllExperts();
 
+  // Lazily registers (and returns) the trace track for a batch slot's request lifecycle.
+  int TraceSlotTrack(int slot);
+
   ModelConfig model_;
   EngineConfig config_;
   OffloadPolicy* policy_;  // Not owned.
@@ -175,6 +191,11 @@ class ServingEngine : public EngineHandle {
   SimClock clock_;
   RunMetrics metrics_;
   MatcherWorker matcher_;
+
+  // Tracing (null trace_ = disabled; every hook is a single pointer check).
+  TraceRecorder* trace_ = nullptr;  // Not owned.
+  int trace_engine_track_ = 0;
+  std::vector<int> trace_slot_tracks_;  // batch_slot -> track id, registered lazily.
 
   // Continuous-batching state.
   std::vector<std::unique_ptr<BatchMember>> active_members_;

@@ -20,6 +20,9 @@
 #include "src/harness/report.h"
 #include "src/harness/runner.h"
 #include "src/harness/systems.h"
+#include "src/obs/perfetto_export.h"
+#include "src/obs/stall_report.h"
+#include "src/obs/trace_recorder.h"
 #include "src/util/thread_pool.h"
 #include "src/workload/trace_io.h"
 #include "src/serving/engine.h"
@@ -106,6 +109,10 @@ int main(int argc, char** argv) {
                   "seed])");
   flags.AddString("export-trace", "",
                   "write the generated online trace to this CSV and exit (for editing/replay)");
+  flags.AddString("trace-out", "",
+                  "write a Chrome trace-event JSON (Perfetto-loadable) of one system's run "
+                  "here; stall attribution goes to stderr");
+  flags.AddInt("trace-task", 0, "index of the system/task --trace-out covers (default 0)");
   flags.AddString("output", "", "write results to this file instead of stdout");
 
   std::string error;
@@ -185,13 +192,27 @@ int main(int argc, char** argv) {
   }
 
   const int jobs = static_cast<int>(flags.GetInt("jobs"));
+  const std::string trace_out = flags.GetString("trace-out");
+  const size_t trace_task = static_cast<size_t>(flags.GetInt("trace-task"));
+  TraceRecorder recorder;
+  if (!trace_out.empty() && trace_task >= systems.size()) {
+    std::cerr << "error: --trace-task " << trace_task << " out of range (" << systems.size()
+              << " systems)\n";
+    return 1;
+  }
   std::vector<ExperimentResult> results;
   if (use_csv) {
     // Replay tasks share the loaded request vector (read-only); each index runs one system and
     // writes only its own slot, so any job count yields the same result vector.
     results.resize(systems.size());
     ParallelForIndex(systems.size(), jobs <= 0 ? ThreadPool::HardwareThreads() : jobs,
-                     [&](size_t i) { results[i] = RunReplay(systems[i], options, csv_requests); });
+                     [&](size_t i) {
+                       ExperimentOptions task_options = options;
+                       if (!trace_out.empty() && i == trace_task) {
+                         task_options.trace = &recorder;
+                       }
+                       results[i] = RunReplay(systems[i], task_options, csv_requests);
+                     });
   } else {
     ExperimentPlan plan(options.seed);
     for (const std::string& system : systems) {
@@ -203,7 +224,22 @@ int main(int argc, char** argv) {
     }
     RunnerOptions runner;
     runner.jobs = jobs;
+    if (!trace_out.empty()) {
+      runner.trace = &recorder;
+      runner.trace_task = trace_task;
+    }
     results = RunPlan(plan, runner);
+  }
+
+  if (!trace_out.empty()) {
+    const std::string process_name = "fmoe_sim [" + std::to_string(trace_task) + "] " +
+                                     systems[trace_task];
+    if (!WriteChromeTraceFile(recorder, process_name, trace_out)) {
+      return 1;
+    }
+    std::cerr << "trace: " << recorder.events().size() << " events -> " << trace_out
+              << " (load in ui.perfetto.dev or chrome://tracing)\n"
+              << RenderStallReport(recorder.stall());
   }
 
   // Optional store export: re-run fMoE through an engine we keep, then persist its store.

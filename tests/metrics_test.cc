@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/harness/experiment.h"
+#include "src/obs/trace_recorder.h"
+
 namespace fmoe {
 namespace {
 
@@ -105,6 +108,31 @@ TEST(LatencyBreakdownTest, AccumulateAddsEverything) {
   EXPECT_DOUBLE_EQ(a.attention_compute, 3.0);
   EXPECT_DOUBLE_EQ(a.demand_stall, 1.0);
   EXPECT_NEAR(a.async_work[2], 0.3, 1e-12);
+}
+
+// The trace is an alternative ledger of the same virtual time the breakdown accumulates:
+// on a real (small, deterministic) run every compute component of LatencyBreakdown must
+// equal the summed durations of the correspondingly named trace spans, and demand_stall must
+// equal the attributed stall total bitwise (same addition sequence — DESIGN.md §5f).
+TEST(LatencyBreakdownTest, ComponentsMatchSummedTraceSpans) {
+  TraceRecorder recorder;
+  ExperimentOptions options;
+  options.model = TinyTestConfig();
+  options.dataset = LmsysLikeProfile();
+  options.history_requests = 24;
+  options.test_requests = 8;
+  options.max_decode_tokens = 12;
+  options.seed = 11;
+  options.trace = &recorder;
+  const ExperimentResult result = RunOffline("fMoE", options);
+
+  ASSERT_FALSE(recorder.events().empty());
+  // Span sums reassociate the breakdown's additions, hence near- rather than exact equality.
+  EXPECT_NEAR(recorder.SpanSeconds("attention"), result.breakdown.attention_compute, 1e-9);
+  EXPECT_NEAR(recorder.SpanSeconds("expert"), result.breakdown.expert_compute, 1e-9);
+  EXPECT_NEAR(recorder.SpanSeconds("layer-overhead"), result.breakdown.layer_overhead, 1e-9);
+  EXPECT_NEAR(recorder.SpanSeconds("demand-stall"), result.breakdown.demand_stall, 1e-9);
+  EXPECT_DOUBLE_EQ(recorder.stall().total_seconds, result.breakdown.demand_stall);
 }
 
 TEST(OverheadCategoryTest, NamesAreDistinct) {
