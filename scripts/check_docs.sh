@@ -35,6 +35,7 @@ for doc in *.md; do
     [ -z "$ref" ] && continue
     case "$ref" in
       *'*'*|*'<'*|*'$'*|*' '*|-*|http*|*..*) continue ;;
+      /*) continue ;;  # Absolute paths point outside the repo (e.g. /root/related/ notes).
     esac
     # Trailing .* shorthand (`src/cache/expert_cache.*`) means "both .h and .cc".
     if [[ "$ref" == *.\* ]]; then
@@ -51,6 +52,16 @@ for doc in *.md; do
     fi
   done < <(grep -oE '`[A-Za-z0-9_./*-]+/[A-Za-z0-9_.*-]+\.[A-Za-z*]+`' "$doc" |
            tr -d '`' | sort -u)
+done
+
+# --- 2b. Benchmark baseline guard: every BENCH_*.json at the repo root must be named in ---
+# HACKING.md's baseline table, so committed baselines cannot drift undocumented.
+for bench in BENCH_*.json; do
+  [ -e "$bench" ] || continue  # No baselines committed (fresh checkout of a subset).
+  if ! grep -qF "$bench" HACKING.md; then
+    echo "UNDOCUMENTED BASELINE: $bench (add it to HACKING.md's baseline list)"
+    fail=1
+  fi
 done
 
 # --- 3. README layout guard: every src/<module>/ appears in the layout section. -----------

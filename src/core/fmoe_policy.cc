@@ -9,7 +9,8 @@ FmoePolicy::FmoePolicy(const ModelConfig& model, int prefetch_distance,
     : model_(model),
       prefetch_distance_(prefetch_distance),
       options_(options),
-      store_(model, options.store_capacity, prefetch_distance, options.store_dedup) {
+      store_(model, options.store_capacity, prefetch_distance, options.store_dedup,
+             options.map_precision) {
   store_.set_search_threads(options.search_threads);
 }
 

@@ -29,6 +29,9 @@ namespace fmoe {
 struct FmoeOptions {
   size_t store_capacity = 1000;  // 1K maps, the paper's operating point (§6.6).
   StoreDedupPolicy store_dedup = StoreDedupPolicy::kRedundancy;
+  // Storage precision of the store's trajectory search matrix (DESIGN.md §5g): fp16/int8
+  // shrink the Fig. 16 store footprint 2×/4× at tolerance-bounded (not bitwise) accuracy.
+  MapPrecision map_precision = MapPrecision::kFp32;
   MatcherOptions matcher;
   PrefetcherOptions prefetcher;
   // Models the async matcher's speed (store searches run on spare CPU/GPU cycles).

@@ -51,22 +51,75 @@ std::vector<float> ToFloat(std::span<const double> values) {
   return out;
 }
 
+uint8_t EncodeQ8(float v, float scale, float offset) {
+  if (scale <= 0.0f) {
+    return 0;  // Constant column: every value is `offset` exactly.
+  }
+  const float q = std::round((v - offset) / scale);
+  return static_cast<uint8_t>(std::clamp(q, 0.0f, 255.0f));
+}
+
 }  // namespace
 
+const char* MapPrecisionName(MapPrecision precision) {
+  switch (precision) {
+    case MapPrecision::kFp32:
+      return "fp32";
+    case MapPrecision::kFp16:
+      return "fp16";
+    case MapPrecision::kInt8:
+      return "int8";
+  }
+  return "fp32";
+}
+
+bool ParseMapPrecision(std::string_view text, MapPrecision* out) {
+  if (text == "fp32") {
+    *out = MapPrecision::kFp32;
+  } else if (text == "fp16") {
+    *out = MapPrecision::kFp16;
+  } else if (text == "int8") {
+    *out = MapPrecision::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 ExpertMapStore::ExpertMapStore(const ModelConfig& model, size_t capacity, int prefetch_distance,
-                               StoreDedupPolicy dedup)
+                               StoreDedupPolicy dedup, MapPrecision precision)
     : model_(model),
       capacity_(capacity),
       prefetch_distance_(prefetch_distance),
       dedup_(dedup),
+      precision_(precision),
       map_dim_(model.num_layers * model.experts_per_layer) {
   FMOE_CHECK(capacity > 0);
   FMOE_CHECK(prefetch_distance >= 0 && prefetch_distance <= model.num_layers);
   records_.reserve(capacity);
-  // The column matrix has a fixed stride of `capacity` floats, so it is sized once up front;
-  // slots past size() are never read (every scan is bounded by size()).
-  map_cols_.resize(capacity * static_cast<size_t>(map_dim_), 0.0f);
-  map_rows_.reserve(capacity * static_cast<size_t>(map_dim_));
+  // The column matrix has a fixed stride of `capacity` values, so it is sized once up front;
+  // slots past size() are never read (every scan is bounded by size()). Exactly one of the
+  // three precision variants is allocated.
+  const size_t cols = capacity * static_cast<size_t>(map_dim_);
+  switch (precision_) {
+    case MapPrecision::kFp32:
+      map_cols_.resize(cols, 0.0f);
+      break;
+    case MapPrecision::kFp16:
+      map_cols16_.resize(cols, 0);
+      break;
+    case MapPrecision::kInt8:
+      map_cols8_.resize(cols, 0);
+      // Ranges start collapsed at 0 (scale 0 == "column is constant 0"); the first nonzero
+      // value in a column widens its range via RequantizeColumn, so each column's grid adapts
+      // to that column's actual magnitude (hot-expert columns near 1, cold ones near 0).
+      col_scales_.assign(static_cast<size_t>(map_dim_), 0.0f);
+      col_offsets_.assign(static_cast<size_t>(map_dim_), 0.0f);
+      col_range_lo_.assign(static_cast<size_t>(map_dim_), 0.0f);
+      col_range_hi_.assign(static_cast<size_t>(map_dim_), 0.0f);
+      break;
+  }
+  map_rows_.reserve(cols);
   prefix_sqnorms_.reserve(capacity * static_cast<size_t>(model.num_layers + 1));
   inv_prefix_norms_.reserve(capacity * static_cast<size_t>(model.num_layers + 1));
 }
@@ -110,6 +163,36 @@ void ExpertMapStore::set_search_threads(int threads) {
   search_threads_ = threads;
 }
 
+void ExpertMapStore::ScanMapColumns(std::span<const float> coeffs, size_t first_col,
+                                    size_t begin, size_t end, const Q8Coeffs* folded,
+                                    double* out) const {
+  FMOE_CHECK(first_col + coeffs.size() <= static_cast<size_t>(map_dim_));
+  FMOE_CHECK(begin <= end && end <= records_.size());
+  const size_t base = first_col * capacity_ + begin;
+  switch (precision_) {
+    case MapPrecision::kFp32:
+      AccumulateColumns(coeffs, map_cols_.data() + base, capacity_, end - begin, out);
+      break;
+    case MapPrecision::kFp16:
+      AccumulateColumnsF16(coeffs, map_cols16_.data() + base, capacity_, end - begin, out);
+      break;
+    case MapPrecision::kInt8:
+      FMOE_CHECK(folded != nullptr && folded->q.size() == coeffs.size());
+      AccumulateColumnsQ8(*folded, map_cols8_.data() + base, capacity_, end - begin, out);
+      break;
+  }
+}
+
+void ExpertMapStore::FoldQ8ScanCoeffs(std::span<const float> coeffs, size_t first_col,
+                                      Q8Coeffs* folded) const {
+  if (precision_ != MapPrecision::kInt8) {
+    return;
+  }
+  FMOE_CHECK(first_col + coeffs.size() <= static_cast<size_t>(map_dim_));
+  FoldQ8Coeffs(coeffs, col_scales_.data() + first_col, col_offsets_.data() + first_col,
+               folded);
+}
+
 void ExpertMapStore::GrowEmbeddingStride(size_t dim) {
   if (dim <= emb_stride_) {
     return;
@@ -122,25 +205,65 @@ void ExpertMapStore::GrowEmbeddingStride(size_t dim) {
   emb_stride_ = dim;
 }
 
-void ExpertMapStore::IndexRecord(size_t slot) {
-  const StoredIteration& record = records_[slot];
-  const std::span<const double> flat = record.map.Flat();
-  FMOE_CHECK_MSG(flat.empty() || flat.size() == static_cast<size_t>(map_dim_),
-                 "map shape mismatch: record has " << flat.size() << " values, store expects "
-                                                   << map_dim_);
-
-  // Map row (empty maps index as all-zero rows and never match anything), scattered into the
-  // layer-major column matrix as well: column k of record `slot` lives at k·capacity + slot.
-  float* row = map_rows_.data() + slot * static_cast<size_t>(map_dim_);
-  for (int k = 0; k < map_dim_; ++k) {
-    const float v = flat.empty() ? 0.0f : static_cast<float>(flat[static_cast<size_t>(k)]);
-    row[k] = v;
-    map_cols_[static_cast<size_t>(k) * capacity_ + slot] = v;
+void ExpertMapStore::RequantizeColumn(size_t k, float v) {
+  // Widen monotonically with a 25% margin past the violating value, so a slowly creeping
+  // column maximum triggers O(log) requantizations, not one per insert.
+  float lo = std::min(col_range_lo_[k], v);
+  float hi = std::max(col_range_hi_[k], v);
+  const float margin = 0.25f * (hi - lo);
+  if (v < col_range_lo_[k]) {
+    lo = v - margin;
   }
+  if (v > col_range_hi_[k]) {
+    hi = v + margin;
+  }
+  col_range_lo_[k] = lo;
+  col_range_hi_[k] = hi;
+  const float scale = (hi - lo) / 255.0f;
+  col_offsets_[k] = lo;
+  col_scales_[k] = scale;
+  // Re-encode the whole column from the exact record data (records_ keeps the original
+  // doubles), and refresh the dequantized row view to match what scans now see.
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const std::span<const double> flat = records_[i].map.Flat();
+    const float exact = flat.empty() ? 0.0f : static_cast<float>(flat[k]);
+    const uint8_t q = EncodeQ8(exact, scale, lo);
+    map_cols8_[k * capacity_ + i] = q;
+    map_rows_[i * static_cast<size_t>(map_dim_) + k] = lo + scale * static_cast<float>(q);
+  }
+  norms_dirty_ = true;  // Every record's prefix norms may have shifted; IndexRecord rebuilds.
+}
 
-  // Running prefix squared norms over the float row (entry l = ‖layers [0, l)‖²) and their
-  // inverses, with 0 standing in for 1/0 so scan-time scoring is a branch-free multiply.
+float ExpertMapStore::StoreColumnValue(size_t k, size_t slot, float v) {
+  switch (precision_) {
+    case MapPrecision::kFp32:
+      map_cols_[k * capacity_ + slot] = v;
+      return v;
+    case MapPrecision::kFp16: {
+      const uint16_t h = Fp16FromFloat(v);
+      map_cols16_[k * capacity_ + slot] = h;
+      return Fp16ToFloat(h);
+    }
+    case MapPrecision::kInt8: {
+      if (v < col_range_lo_[k] || v > col_range_hi_[k]) {
+        RequantizeColumn(k, v);
+      }
+      const float scale = col_scales_[k];
+      const float offset = col_offsets_[k];
+      const uint8_t q = EncodeQ8(v, scale, offset);
+      map_cols8_[k * capacity_ + slot] = q;
+      return offset + scale * static_cast<float>(q);
+    }
+  }
+  return v;
+}
+
+void ExpertMapStore::RebuildPrefixNorms(size_t slot) {
+  // Running prefix squared norms over the (dequantized) float row — entry l = ‖layers
+  // [0, l)‖² — and their inverses, with 0 standing in for 1/0 so scan-time scoring is a
+  // branch-free multiply.
   const int J = model_.experts_per_layer;
+  const float* row = map_rows_.data() + slot * static_cast<size_t>(map_dim_);
   double* sq = prefix_sqnorms_.data() + slot * static_cast<size_t>(model_.num_layers + 1);
   double* inv = inv_prefix_norms_.data() + slot * static_cast<size_t>(model_.num_layers + 1);
   sq[0] = 0.0;
@@ -150,6 +273,33 @@ void ExpertMapStore::IndexRecord(size_t slot) {
                                        static_cast<size_t>(J));
     sq[l + 1] = sq[l] + DotF(layer, layer);
     inv[l + 1] = sq[l + 1] == 0.0 ? 0.0 : 1.0 / std::sqrt(sq[l + 1]);
+  }
+}
+
+void ExpertMapStore::IndexRecord(size_t slot) {
+  const StoredIteration& record = records_[slot];
+  const std::span<const double> flat = record.map.Flat();
+  FMOE_CHECK_MSG(flat.empty() || flat.size() == static_cast<size_t>(map_dim_),
+                 "map shape mismatch: record has " << flat.size() << " values, store expects "
+                                                   << map_dim_);
+
+  // Map row (empty maps index as all-zero rows and never match anything), scattered into the
+  // layer-major column matrix as well: column k of record `slot` lives at k·capacity + slot.
+  // The row keeps the dequantized value StoreColumnValue actually stored.
+  float* row = map_rows_.data() + slot * static_cast<size_t>(map_dim_);
+  for (int k = 0; k < map_dim_; ++k) {
+    const float v = flat.empty() ? 0.0f : static_cast<float>(flat[static_cast<size_t>(k)]);
+    row[k] = StoreColumnValue(static_cast<size_t>(k), slot, v);
+  }
+
+  if (norms_dirty_) {
+    // A column requantization rewrote dequantized values across all records.
+    for (size_t i = 0; i < records_.size(); ++i) {
+      RebuildPrefixNorms(i);
+    }
+    norms_dirty_ = false;
+  } else {
+    RebuildPrefixNorms(slot);
   }
 
   // Embedding row + norm.
@@ -196,10 +346,11 @@ uint64_t ExpertMapStore::Insert(StoredIteration record) {
   const double inv_map_qnorm = map_qnorm == 0.0 ? 0.0 : 1.0 / map_qnorm;
   const size_t norm_stride = static_cast<size_t>(model_.num_layers + 1);
   const size_t full = static_cast<size_t>(model_.num_layers);
+  Q8Coeffs folded;
+  FoldQ8ScanCoeffs(map_query, 0, &folded);
   std::vector<double> trajectory(n, 0.0);
   RunPartitioned(n, search_threads_, [&](size_t begin, size_t end) {
-    AccumulateColumns(map_query, map_cols_.data() + begin, capacity_, end - begin,
-                      trajectory.data() + begin);
+    ScanMapColumns(map_query, 0, begin, end, &folded, trajectory.data() + begin);
     for (size_t i = begin; i < end; ++i) {
       trajectory[i] *= inv_map_qnorm * inv_prefix_norms_[i * norm_stride + full];
     }
@@ -287,12 +438,13 @@ SearchResult ExpertMapStore::TrajectorySearch(std::span<const double> prefix,
   const double qnorm = std::sqrt(DotF(query, query));
   const double inv_qnorm = qnorm == 0.0 ? 0.0 : 1.0 / qnorm;
   const size_t norm_stride = static_cast<size_t>(model_.num_layers + 1);
+  Q8Coeffs folded;
+  FoldQ8ScanCoeffs(query, 0, &folded);
   std::vector<double> scores(n, 0.0);
   RunPartitioned(n, search_threads_, [&](size_t begin, size_t end) {
     // The prefix touches columns [0, prefix_layers·J) of the layer-major matrix — one fully
     // sequential streaming pass, independent of the full map width.
-    AccumulateColumns(query, map_cols_.data() + begin, capacity_, end - begin,
-                      scores.data() + begin);
+    ScanMapColumns(query, 0, begin, end, &folded, scores.data() + begin);
     for (size_t i = begin; i < end; ++i) {
       scores[i] *= inv_qnorm *
                    inv_prefix_norms_[i * norm_stride + static_cast<size_t>(prefix_layers)];
@@ -306,25 +458,64 @@ SearchResult ExpertMapStore::TrajectorySearch(std::span<const double> prefix,
 }
 
 size_t ExpertMapStore::MemoryBytes() const {
+  size_t map_value_bytes = sizeof(float);
+  switch (precision_) {
+    case MapPrecision::kFp32:
+      map_value_bytes = sizeof(float);
+      break;
+    case MapPrecision::kFp16:
+      map_value_bytes = sizeof(uint16_t);
+      break;
+    case MapPrecision::kInt8:
+      map_value_bytes = sizeof(uint8_t);
+      break;
+  }
   size_t bytes = 0;
   for (size_t i = 0; i < records_.size(); ++i) {
-    bytes += static_cast<size_t>(map_dim_) * sizeof(float) + emb_dims_[i] * sizeof(float);
+    bytes += static_cast<size_t>(map_dim_) * map_value_bytes + emb_dims_[i] * sizeof(float);
+  }
+  if (precision_ == MapPrecision::kInt8 && !records_.empty()) {
+    bytes += 2 * static_cast<size_t>(map_dim_) * sizeof(float);  // Scale/offset tables.
   }
   return bytes;
 }
 
 size_t ExpertMapStore::MemoryBytesAtCapacity(int embedding_dim) const {
+  size_t map_value_bytes = sizeof(float);
+  switch (precision_) {
+    case MapPrecision::kFp32:
+      map_value_bytes = sizeof(float);
+      break;
+    case MapPrecision::kFp16:
+      map_value_bytes = sizeof(uint16_t);
+      break;
+    case MapPrecision::kInt8:
+      map_value_bytes = sizeof(uint8_t);
+      break;
+  }
   const size_t per_record =
-      static_cast<size_t>(map_dim_) * sizeof(float) +
+      static_cast<size_t>(map_dim_) * map_value_bytes +
       static_cast<size_t>(embedding_dim) * sizeof(float);
-  return capacity_ * per_record;
+  size_t bytes = capacity_ * per_record;
+  if (precision_ == MapPrecision::kInt8) {
+    bytes += 2 * static_cast<size_t>(map_dim_) * sizeof(float);
+  }
+  return bytes;
 }
 
 void ExpertMapStore::Clear() {
   ++generation_;
   records_.clear();
-  // map_cols_ keeps its fixed capacity-stride allocation; stale slots are never read because
-  // every scan is bounded by size().
+  // The column matrices keep their fixed capacity-stride allocations; stale slots are never
+  // read because every scan is bounded by size(). Quantization ranges reset so a reused store
+  // re-adapts its per-column grids to the new data.
+  if (precision_ == MapPrecision::kInt8) {
+    std::fill(col_scales_.begin(), col_scales_.end(), 0.0f);
+    std::fill(col_offsets_.begin(), col_offsets_.end(), 0.0f);
+    std::fill(col_range_lo_.begin(), col_range_lo_.end(), 0.0f);
+    std::fill(col_range_hi_.begin(), col_range_hi_.end(), 0.0f);
+  }
+  norms_dirty_ = false;
   map_rows_.clear();
   emb_rows_.clear();
   emb_stride_ = 0;
@@ -363,7 +554,8 @@ uint64_t TrajectorySearchSession::Rebuild() {
   if (n == 0 || prefix_.empty()) {
     return 0;
   }
-  AccumulateColumns(prefix_, store_->map_cols_data(), store_->capacity(), n, dots_.data());
+  store_->FoldQ8ScanCoeffs(prefix_, 0, &q8_scratch_);
+  store_->ScanMapColumns(prefix_, 0, 0, n, &q8_scratch_, dots_.data());
   return n * 2ULL * prefix_.size();
 }
 
@@ -391,8 +583,8 @@ uint64_t TrajectorySearchSession::ObserveLayer(std::span<const double> probs) {
   // Extend each record's running dot by only the newly observed layer: the layer's J values
   // occupy columns [offset, offset + J) of the layer-major matrix, so this is J contiguous
   // sequential column passes — a few microseconds even at a 4096-record store.
-  AccumulateColumns(block, store_->map_cols_data() + offset * store_->capacity(),
-                    store_->capacity(), n, dots_.data());
+  store_->FoldQ8ScanCoeffs(block, offset, &q8_scratch_);
+  store_->ScanMapColumns(block, offset, 0, n, &q8_scratch_, dots_.data());
   return n * 2ULL * static_cast<uint64_t>(J);
 }
 

@@ -32,6 +32,23 @@
 // afterwards, so results (including lowest-index tie-breaks) are bit-identical to the
 // single-threaded scan.
 //
+// Quantized column storage (DESIGN.md §5g). The trajectory matrix dominates store memory
+// (map_dim · capacity values vs one embedding row per record), so it can optionally be held
+// at reduced precision, chosen per store at construction:
+//   * kFp32 — exact floats; the bitwise reference every golden report is pinned to.
+//   * kFp16 — IEEE binary16 per value (2× smaller). Scans widen each value back to float
+//     (exact), so a scan equals the fp32 scan over the half-rounded values bit for bit.
+//   * kInt8 — per-column affine quantization (4× smaller): value ≈ scale_k · q + offset_k
+//     with q in [0, 255]. Each column tracks a monotone-growing value range (with margin);
+//     a value outside it triggers an O(size) requantization of that column from the exact
+//     record data. Scans fold the per-column parameters into the query coefficients
+//     (FoldQ8Coeffs) and run dequantize-free int32 accumulation — exact integer arithmetic,
+//     so partition-independence holds by construction.
+// Only the column matrix is quantized: queries, embeddings, and the stored records stay
+// exact. map_rows_ and the prefix norms always hold the *dequantized* values — exactly what
+// the scans see — so cosine normalization stays consistent at any precision. The quantized
+// precisions are tolerance-checked (not byte-exact) end to end; see golden_metrics_test.
+//
 // Incremental trajectory search. HybridMatcher re-matches a *growing* prefix; recomputing the
 // cosine from scratch is O(l·J·N) per rematch, O(L²·J·N) per iteration. TrajectorySearchSession
 // instead keeps one running dot product per record and extends it by only the newly observed
@@ -44,10 +61,12 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "src/core/expert_map.h"
 #include "src/moe/model_config.h"
+#include "src/util/math.h"
 
 namespace fmoe {
 
@@ -65,6 +84,19 @@ enum class StoreDedupPolicy {
   kFifo,
 };
 
+// Storage precision of the trajectory search matrix (see the header comment). The numeric
+// values are the on-disk codes of map_store_io (fp32 = 0 keeps old files byte-identical).
+enum class MapPrecision : uint8_t {
+  kFp32 = 0,
+  kFp16 = 1,
+  kInt8 = 2,
+};
+
+// "fp32" / "fp16" / "int8".
+const char* MapPrecisionName(MapPrecision precision);
+// Parses the names above; returns false (leaving `out` untouched) on anything else.
+bool ParseMapPrecision(std::string_view text, MapPrecision* out);
+
 struct SearchResult {
   bool found = false;
   size_t index = 0;
@@ -75,12 +107,14 @@ struct SearchResult {
 class ExpertMapStore {
  public:
   ExpertMapStore(const ModelConfig& model, size_t capacity, int prefetch_distance,
-                 StoreDedupPolicy dedup = StoreDedupPolicy::kRedundancy);
+                 StoreDedupPolicy dedup = StoreDedupPolicy::kRedundancy,
+                 MapPrecision precision = MapPrecision::kFp32);
 
   size_t size() const { return records_.size(); }
   size_t capacity() const { return capacity_; }
   const ModelConfig& model() const { return model_; }
   int prefetch_distance() const { return prefetch_distance_; }
+  MapPrecision map_precision() const { return precision_; }
   const StoredIteration& Get(size_t index) const;
 
   // Inserts a record; when at capacity, replaces the most redundant existing record (by RDY).
@@ -95,7 +129,9 @@ class ExpertMapStore {
   // form; use TrajectorySearchSession for the per-layer incremental path.
   SearchResult TrajectorySearch(std::span<const double> prefix, int prefix_layers) const;
 
-  // fp32-equivalent CPU memory footprint of everything stored (Fig. 16).
+  // CPU memory footprint of everything stored at the active precision (Fig. 16): map rows at
+  // 4/2/1 bytes per value, embeddings at fp32, plus the per-column scale/offset table for
+  // int8 stores.
   size_t MemoryBytes() const;
   // Footprint the store would have at full capacity (for sizing tables).
   size_t MemoryBytesAtCapacity(int embedding_dim) const;
@@ -104,13 +140,20 @@ class ExpertMapStore {
 
   // ---- SoA search-engine views ----
 
-  // Flattened map row of record i (L·J floats; layer l occupies [l·J, (l+1)·J)).
+  // Flattened map row of record i (L·J floats; layer l occupies [l·J, (l+1)·J)). At reduced
+  // precision this is the *dequantized* view — the values the scans actually compare.
   std::span<const float> MapRow(size_t index) const;
   // Base pointer of the row-major map matrix (row stride = map_dim()); null when empty.
   const float* map_rows_data() const { return map_rows_.data(); }
-  // Base pointer of the layer-expert-major search matrix: column k = l·J + j holds map_i[l, j]
-  // for records i = 0..size(), with capacity() floats between consecutive columns.
+  // Base pointer of the fp32 layer-expert-major search matrix: column k = l·J + j holds
+  // map_i[l, j] for records i = 0..size(), with capacity() floats between consecutive
+  // columns. Only populated when map_precision() == kFp32 (see ScanMapColumns for the
+  // precision-independent scan entry point).
   const float* map_cols_data() const { return map_cols_.data(); }
+  // Per-column affine parameters of the int8 matrix (value = scale_k·q + offset_k), indexed
+  // by column k = l·J + j. Only populated when map_precision() == kInt8.
+  const float* col_scales_data() const { return col_scales_.data(); }
+  const float* col_offsets_data() const { return col_offsets_.data(); }
   // Row length of the map matrix: num_layers · experts_per_layer.
   int map_dim() const { return map_dim_; }
   // Precomputed 1/‖map_i[0..l)‖ lookup table, stride num_layers + 1 per record; entry (i, l)
@@ -123,6 +166,18 @@ class ExpertMapStore {
   // ‖map_i[0 .. prefix_layers)‖ from the precomputed running squared norms.
   double PrefixNorm(size_t index, int prefix_layers) const;
 
+  // Precision-independent streaming scan over the column matrix:
+  //   out[i - begin] += Σ_k coeffs[k] · column(first_col + k)[record i],  i in [begin, end)
+  // with dequantized column semantics. For kInt8, `folded` must point at the result of
+  // FoldQ8ScanCoeffs(coeffs, first_col, ...) — folded once per scan and shared read-only by
+  // partitioned callers; other precisions ignore it (null is fine).
+  void ScanMapColumns(std::span<const float> coeffs, size_t first_col, size_t begin,
+                      size_t end, const Q8Coeffs* folded, double* out) const;
+  // Folds `coeffs` against the parameters of columns [first_col, first_col + coeffs.size()).
+  // No-op unless map_precision() == kInt8. The scratch's buffer is reused across calls.
+  void FoldQ8ScanCoeffs(std::span<const float> coeffs, size_t first_col,
+                        Q8Coeffs* folded) const;
+
   // Bumped on every mutation (insert, replace, clear); lets sessions detect staleness.
   uint64_t generation() const { return generation_; }
 
@@ -134,6 +189,14 @@ class ExpertMapStore {
  private:
   // Rebuilds the SoA row, norms, and prefix norms for records_[slot].
   void IndexRecord(size_t slot);
+  // Recomputes the prefix-norm tables of records_[slot] from its map_rows_ row.
+  void RebuildPrefixNorms(size_t slot);
+  // Stores value v into column k of record `slot` (all precisions) and returns the
+  // dequantized value the scans will see.
+  float StoreColumnValue(size_t k, size_t slot, float v);
+  // Widens column k's representable range to cover v (with margin) and re-encodes the column
+  // for every record from the exact record data. Sets norms_dirty_.
+  void RequantizeColumn(size_t k, float v);
   // Widens the embedding matrix stride to at least `dim`, repacking existing rows.
   void GrowEmbeddingStride(size_t dim);
 
@@ -141,16 +204,25 @@ class ExpertMapStore {
   size_t capacity_;
   int prefetch_distance_;
   StoreDedupPolicy dedup_;
+  MapPrecision precision_;
   size_t next_fifo_slot_ = 0;
   int map_dim_ = 0;  // num_layers * experts_per_layer.
   int search_threads_ = 1;
   uint64_t generation_ = 0;
+  bool norms_dirty_ = false;  // Set by RequantizeColumn; cleared by IndexRecord.
 
   std::vector<StoredIteration> records_;  // Record data + metadata (Get / persistence).
 
-  // SoA search index; see the layout comment at the top of this header.
-  std::vector<float> map_cols_;         // map_dim_ columns x capacity_ (layer-expert-major).
-  std::vector<float> map_rows_;         // size() x map_dim_ (row-major view).
+  // SoA search index; see the layout comment at the top of this header. Exactly one of the
+  // three column matrices is allocated, per precision_ (fixed stride = capacity_).
+  std::vector<float> map_cols_;         // kFp32: map_dim_ columns x capacity_.
+  std::vector<uint16_t> map_cols16_;    // kFp16: binary16 bit patterns, same layout.
+  std::vector<uint8_t> map_cols8_;      // kInt8: affine codes, same layout.
+  std::vector<float> col_scales_;       // kInt8: per-column scale (map_dim_).
+  std::vector<float> col_offsets_;      // kInt8: per-column offset (map_dim_).
+  std::vector<float> col_range_lo_;     // kInt8: monotone-growing representable range.
+  std::vector<float> col_range_hi_;
+  std::vector<float> map_rows_;         // size() x map_dim_ (row-major dequantized view).
   std::vector<float> emb_rows_;         // size() x emb_stride_ (zero-padded).
   size_t emb_stride_ = 0;
   std::vector<size_t> emb_dims_;
@@ -197,6 +269,8 @@ class TrajectorySearchSession {
   std::vector<float> prefix_;    // Observed prefix, float-quantized like the stored rows.
   double prefix_sqnorm_ = 0.0;
   std::vector<double> dots_;     // Running dot(prefix, map row) per record.
+  Q8Coeffs q8_scratch_;          // Reused fold buffer (kInt8 stores only) — no steady-state
+                                 // allocation after the first fold at a given prefix length.
 };
 
 }  // namespace fmoe

@@ -1,5 +1,6 @@
 #include "src/core/map_store_io.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -8,6 +9,8 @@
 #include <sstream>
 #include <vector>
 
+#include "src/util/math.h"
+
 namespace fmoe {
 namespace {
 
@@ -15,12 +18,16 @@ namespace {
 // different magic and refuses the file).
 constexpr char kMagic[8] = {'F', 'M', 'O', 'E', 'S', 'T', 'R', '1'};
 
+// `map_precision` holds the MapPrecision code of the map payload (fp32 = 0, fp16 = 1,
+// int8 = 2). The field was a zero-initialized `reserved` slot before quantized stores
+// existed, so fp32 files are byte-identical to the original format and old files load as
+// fp32 unchanged.
 struct StoreHeader {
   char magic[8];
   uint32_t num_layers = 0;
   uint32_t experts_per_layer = 0;
   uint32_t embedding_dim = 0;
-  uint32_t reserved = 0;
+  uint32_t map_precision = 0;
   uint64_t record_count = 0;
 };
 
@@ -37,7 +44,7 @@ bool ReadPod(std::istream& in, T* value) {
 }
 
 // The store's SoA index already holds maps and embeddings as contiguous float rows — exactly
-// the on-disk record layout — so serialization is a raw write, no conversion buffer.
+// the on-disk record layout — so fp32 serialization is a raw write, no conversion buffer.
 bool WriteFloats(std::ostream& out, std::span<const float> values) {
   out.write(reinterpret_cast<const char*>(values.data()),
             static_cast<std::streamsize>(values.size() * sizeof(float)));
@@ -55,6 +62,88 @@ bool ReadFloats(std::istream& in, size_t count, std::vector<double>* values) {
   return true;
 }
 
+size_t MapValueBytes(MapPrecision precision) {
+  switch (precision) {
+    case MapPrecision::kFp32:
+      return sizeof(float);
+    case MapPrecision::kFp16:
+      return sizeof(uint16_t);
+    case MapPrecision::kInt8:
+      return sizeof(uint8_t);
+  }
+  return sizeof(float);
+}
+
+// Re-encodes a dequantized map row into its native payload. Both encodings round-trip
+// exactly: fp16 values in MapRow *are* half-rounded, and int8 values are exactly
+// offset + scale·q for some code q.
+bool WriteMapRow(std::ostream& out, const ExpertMapStore& store, size_t index,
+                 std::vector<uint8_t>* scratch) {
+  const std::span<const float> row = store.MapRow(index);
+  switch (store.map_precision()) {
+    case MapPrecision::kFp32:
+      return WriteFloats(out, row);
+    case MapPrecision::kFp16: {
+      scratch->resize(row.size() * sizeof(uint16_t));
+      uint16_t* half = reinterpret_cast<uint16_t*>(scratch->data());
+      for (size_t k = 0; k < row.size(); ++k) {
+        half[k] = Fp16FromFloat(row[k]);
+      }
+      break;
+    }
+    case MapPrecision::kInt8: {
+      scratch->resize(row.size());
+      const float* scales = store.col_scales_data();
+      const float* offsets = store.col_offsets_data();
+      for (size_t k = 0; k < row.size(); ++k) {
+        const float scale = scales[k];
+        (*scratch)[k] =
+            scale <= 0.0f
+                ? 0
+                : static_cast<uint8_t>(std::lround((row[k] - offsets[k]) / scale));
+      }
+      break;
+    }
+  }
+  out.write(reinterpret_cast<const char*>(scratch->data()),
+            static_cast<std::streamsize>(scratch->size()));
+  return static_cast<bool>(out);
+}
+
+// Decodes one map row of `count` values at the file's precision into doubles. For int8,
+// `scales`/`offsets` are the per-column tables read from the file prologue.
+bool ReadMapRow(std::istream& in, MapPrecision precision, size_t count,
+                const std::vector<float>& scales, const std::vector<float>& offsets,
+                std::vector<double>* values) {
+  if (precision == MapPrecision::kFp32) {
+    return ReadFloats(in, count, values);
+  }
+  if (precision == MapPrecision::kFp16) {
+    std::vector<uint16_t> buffer(count);
+    in.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(count * sizeof(uint16_t)));
+    if (!in) {
+      return false;
+    }
+    values->resize(count);
+    for (size_t k = 0; k < count; ++k) {
+      (*values)[k] = static_cast<double>(Fp16ToFloat(buffer[k]));
+    }
+    return true;
+  }
+  std::vector<uint8_t> buffer(count);
+  in.read(reinterpret_cast<char*>(buffer.data()), static_cast<std::streamsize>(count));
+  if (!in) {
+    return false;
+  }
+  values->resize(count);
+  for (size_t k = 0; k < count; ++k) {
+    (*values)[k] = static_cast<double>(offsets[k]) +
+                   static_cast<double>(scales[k]) * static_cast<double>(buffer[k]);
+  }
+  return true;
+}
+
 }  // namespace
 
 StoreIoResult SaveStore(const ExpertMapStore& store, std::ostream& out) {
@@ -65,6 +154,7 @@ StoreIoResult SaveStore(const ExpertMapStore& store, std::ostream& out) {
   header.experts_per_layer = static_cast<uint32_t>(model.experts_per_layer);
   header.embedding_dim =
       store.size() > 0 ? static_cast<uint32_t>(store.EmbeddingDim(0)) : 0;
+  header.map_precision = static_cast<uint32_t>(store.map_precision());
   header.record_count = store.size();
 
   // All records must share the embedding dimension for a fixed record layout.
@@ -79,15 +169,27 @@ StoreIoResult SaveStore(const ExpertMapStore& store, std::ostream& out) {
 
   StoreIoResult result;
   result.bytes = sizeof(header);
+  const size_t map_dim = static_cast<size_t>(store.map_dim());
+  if (store.map_precision() == MapPrecision::kInt8) {
+    // int8 prologue: the per-column scale/offset tables the record payloads decode against.
+    const std::span<const float> scales(store.col_scales_data(), map_dim);
+    const std::span<const float> offsets(store.col_offsets_data(), map_dim);
+    if (!WriteFloats(out, scales) || !WriteFloats(out, offsets)) {
+      return StoreIoResult::Failure("failed to write quantization tables");
+    }
+    result.bytes += 2 * map_dim * sizeof(float);
+  }
+  std::vector<uint8_t> scratch;
   for (size_t i = 0; i < store.size(); ++i) {
     const uint64_t request_id = store.Get(i).request_id;
     const int32_t iteration = store.Get(i).iteration;
     if (!WritePod(out, request_id) || !WritePod(out, iteration) ||
-        !WriteFloats(out, store.MapRow(i)) || !WriteFloats(out, store.EmbeddingRow(i))) {
+        !WriteMapRow(out, store, i, &scratch) || !WriteFloats(out, store.EmbeddingRow(i))) {
       return StoreIoResult::Failure("failed to write record " + std::to_string(i));
     }
     result.bytes += sizeof(request_id) + sizeof(iteration) +
-                    (store.MapRow(i).size() + store.EmbeddingRow(i).size()) * sizeof(float);
+                    store.MapRow(i).size() * MapValueBytes(store.map_precision()) +
+                    store.EmbeddingRow(i).size() * sizeof(float);
     ++result.records;
   }
   return result;
@@ -101,6 +203,11 @@ StoreIoResult LoadStore(std::istream& in, ExpertMapStore* store) {
   if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
     return StoreIoResult::Failure("bad magic (not an fMoE store file, or wrong endianness)");
   }
+  if (header.map_precision > static_cast<uint32_t>(MapPrecision::kInt8)) {
+    return StoreIoResult::Failure("unknown map precision code " +
+                                  std::to_string(header.map_precision));
+  }
+  const MapPrecision file_precision = static_cast<MapPrecision>(header.map_precision);
   const ModelConfig& model = store->model();
   if (header.num_layers != static_cast<uint32_t>(model.num_layers) ||
       header.experts_per_layer != static_cast<uint32_t>(model.experts_per_layer)) {
@@ -115,7 +222,23 @@ StoreIoResult LoadStore(std::istream& in, ExpertMapStore* store) {
                           static_cast<size_t>(model.experts_per_layer);
   StoreIoResult result;
   result.bytes = sizeof(header);
-  // Parse into a staging buffer first so a truncated file leaves the store untouched.
+  std::vector<float> scales;
+  std::vector<float> offsets;
+  if (file_precision == MapPrecision::kInt8) {
+    std::vector<double> table;
+    if (!ReadFloats(in, map_size, &table)) {
+      return StoreIoResult::Failure("truncated quantization scale table");
+    }
+    scales.assign(table.begin(), table.end());
+    if (!ReadFloats(in, map_size, &table)) {
+      return StoreIoResult::Failure("truncated quantization offset table");
+    }
+    offsets.assign(table.begin(), table.end());
+    result.bytes += 2 * map_size * sizeof(float);
+  }
+  // Parse into a staging buffer first so a truncated file leaves the store untouched. Records
+  // decode to exact doubles and re-insert through the normal path, so the destination store's
+  // own precision — which may differ from the file's — re-quantizes as needed.
   std::vector<StoredIteration> staged;
   staged.reserve(static_cast<size_t>(header.record_count));
   for (uint64_t i = 0; i < header.record_count; ++i) {
@@ -124,7 +247,7 @@ StoreIoResult LoadStore(std::istream& in, ExpertMapStore* store) {
     std::vector<double> map_values;
     std::vector<double> embedding;
     if (!ReadPod(in, &request_id) || !ReadPod(in, &iteration) ||
-        !ReadFloats(in, map_size, &map_values) ||
+        !ReadMapRow(in, file_precision, map_size, scales, offsets, &map_values) ||
         !ReadFloats(in, header.embedding_dim, &embedding)) {
       return StoreIoResult::Failure("truncated file at record " + std::to_string(i));
     }
@@ -141,7 +264,8 @@ StoreIoResult LoadStore(std::istream& in, ExpertMapStore* store) {
                               static_cast<size_t>(model.experts_per_layer)));
     }
     result.bytes += sizeof(request_id) + sizeof(iteration) +
-                    (map_size + header.embedding_dim) * sizeof(float);
+                    map_size * MapValueBytes(file_precision) +
+                    header.embedding_dim * sizeof(float);
     staged.push_back(std::move(record));
   }
   for (StoredIteration& record : staged) {

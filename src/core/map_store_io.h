@@ -2,9 +2,15 @@
 //
 // The paper's offline protocol builds the store from the history split of a dataset before
 // serving (§6.1); persisting it lets deployments pay that cost once. The format is a small
-// versioned header (magic, version, model shape, record count) followed by fixed-layout
-// records: maps and embeddings are stored as float32 — exactly the footprint the paper's
-// memory accounting assumes (Fig. 16).
+// versioned header (magic, version, model shape, map precision, record count) followed by
+// fixed-layout records: map rows are stored at the store's native precision (float32, or the
+// quantized fp16/int8 payloads of DESIGN.md §5g — int8 files carry a per-column scale/offset
+// prologue) and embeddings as float32 — exactly the footprint the paper's memory accounting
+// assumes (Fig. 16). fp32 files are byte-identical to the pre-quantization format.
+//
+// Loading decodes records to exact doubles and re-inserts them through the normal path, so a
+// store may load a file of any precision: the destination's own precision re-quantizes as
+// needed (e.g. loading an fp32 history file into an int8 store quantizes it offline).
 //
 // Loading validates the header against the target store's model shape and refuses mismatches;
 // it never trusts record counts beyond the stream's actual content.

@@ -38,7 +38,8 @@ EngineConfig MakeEngineConfig(const ExperimentOptions& options, const SystemSpec
 
 SystemSpec MakeSystemFor(const std::string& system_name, const ExperimentOptions& options) {
   return MakeSystem(system_name, options.model, options.prefetch_distance,
-                    options.store_capacity, options.low_precision_threshold);
+                    options.store_capacity, options.low_precision_threshold,
+                    options.map_precision);
 }
 
 void FillResult(const std::string& system_name, const ExperimentOptions& options,

@@ -50,6 +50,9 @@ struct ExperimentOptions {
   PlacementStrategy placement = PlacementStrategy::kRoundRobin;
   // Mixed-precision extension knob (fMoE-family systems only; see FmoeOptions).
   double low_precision_threshold = 0.0;
+  // Expert Map Store column precision (fMoE-family systems; DESIGN.md §5g). fp16/int8 trade
+  // tolerance-bounded match accuracy for a 2×/4× smaller Fig. 16 store footprint.
+  MapPrecision map_precision = MapPrecision::kFp32;
   GateProfile gate;
   HardwareProfile hardware;
   // Optional virtual-time trace recorder (not owned; must outlive the run). Pure observer:

@@ -12,11 +12,13 @@ namespace {
 SystemSpec FmoeVariant(const std::string& name, const ModelConfig& model, int distance,
                        bool semantic, bool dynamic_threshold, const std::string& cache,
                        size_t store_capacity, double low_precision_threshold,
+                       MapPrecision map_precision,
                        StoreDedupPolicy dedup = StoreDedupPolicy::kRedundancy) {
   FmoeOptions options;
   options.variant_name = name;
   options.store_capacity = store_capacity;
   options.store_dedup = dedup;
+  options.map_precision = map_precision;
   options.low_precision_threshold = low_precision_threshold;
   options.matcher.use_semantic = semantic;
   options.matcher.use_trajectory = true;
@@ -34,41 +36,42 @@ SystemSpec FmoeVariant(const std::string& name, const ModelConfig& model, int di
 }  // namespace
 
 SystemSpec MakeSystem(const std::string& name, const ModelConfig& model, int prefetch_distance,
-                      size_t fmoe_store_capacity, double low_precision_threshold) {
+                      size_t fmoe_store_capacity, double low_precision_threshold,
+                      MapPrecision map_precision) {
   SystemSpec spec;
   spec.name = name;
   if (name == "fMoE") {
     return FmoeVariant(name, model, prefetch_distance, /*semantic=*/true,
                        /*dynamic_threshold=*/true, "fMoE-PriorityLFU",
-                       fmoe_store_capacity, low_precision_threshold);
+                       fmoe_store_capacity, low_precision_threshold, map_precision);
   }
   if (name == "Map(T)") {
     return FmoeVariant(name, model, prefetch_distance, /*semantic=*/false,
                        /*dynamic_threshold=*/false, "fMoE-PriorityLFU",
-                       fmoe_store_capacity, low_precision_threshold);
+                       fmoe_store_capacity, low_precision_threshold, map_precision);
   }
   if (name == "Map(T+S)") {
     return FmoeVariant(name, model, prefetch_distance, /*semantic=*/true,
                        /*dynamic_threshold=*/false, "fMoE-PriorityLFU",
-                       fmoe_store_capacity, low_precision_threshold);
+                       fmoe_store_capacity, low_precision_threshold, map_precision);
   }
   if (name == "Map(T+S+d)") {
     return FmoeVariant(name, model, prefetch_distance, /*semantic=*/true,
                        /*dynamic_threshold=*/true, "fMoE-PriorityLFU",
-                       fmoe_store_capacity, low_precision_threshold);
+                       fmoe_store_capacity, low_precision_threshold, map_precision);
   }
   if (name == "fMoE-FIFOStore") {
     return FmoeVariant(name, model, prefetch_distance, true, true, "fMoE-PriorityLFU",
-                       fmoe_store_capacity, low_precision_threshold,
+                       fmoe_store_capacity, low_precision_threshold, map_precision,
                        StoreDedupPolicy::kFifo);
   }
   if (name == "fMoE-LRU") {
     return FmoeVariant(name, model, prefetch_distance, true, true, "LRU",
-                       fmoe_store_capacity, low_precision_threshold);
+                       fmoe_store_capacity, low_precision_threshold, map_precision);
   }
   if (name == "fMoE-LFU") {
     return FmoeVariant(name, model, prefetch_distance, true, true, "LFU",
-                       fmoe_store_capacity, low_precision_threshold);
+                       fmoe_store_capacity, low_precision_threshold, map_precision);
   }
   if (name == "MoE-Infinity") {
     spec.cache_policy = "LFU";

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/map_store.h"
 #include "src/moe/model_config.h"
 #include "src/serving/policy.h"
 
@@ -40,9 +41,13 @@ struct SystemSpec {
 // operating point; experiments shrink it for speed or sweep it for sensitivity).
 // `low_precision_threshold` enables the Hobbit-style mixed-precision extension for
 // fMoE-family systems (0, the default, is the paper's lossless behaviour).
+// `map_precision` selects the Expert Map Store's column storage precision (DESIGN.md §5g);
+// it applies to every fMoE-family system and is a no-op for the baselines, which keep no map
+// store (EAM tracks hit counts, speculative/on-demand keep no history at all).
 SystemSpec MakeSystem(const std::string& name, const ModelConfig& model, int prefetch_distance,
                       size_t fmoe_store_capacity = 1000,
-                      double low_precision_threshold = 0.0);
+                      double low_precision_threshold = 0.0,
+                      MapPrecision map_precision = MapPrecision::kFp32);
 
 // The five systems of Figs. 9-11, worst-to-best order used in the paper's plots.
 std::vector<std::string> PaperSystemNames();

@@ -88,6 +88,9 @@ int main(int argc, char** argv) {
   flags.AddInt("distance", 3, "prefetch distance d in layers");
   flags.AddInt("max-decode", 32, "cap on decode tokens per request (0 = dataset default)");
   flags.AddInt("store-capacity", 512, "fMoE Expert Map Store capacity");
+  flags.AddString("map-precision", "fp32",
+                  "Expert Map Store column precision: fp32 | fp16 | int8 (fMoE-family "
+                  "systems; fp16/int8 shrink store memory 2x/4x at bounded match error)");
   flags.AddInt("gpus", 6, "number of GPUs (parallel host links)");
   flags.AddDouble("cache-gb", 0.0, "expert cache budget in GiB (0 = use --cache-fraction)");
   flags.AddDouble("cache-fraction", 0.22, "cache budget as a fraction of all expert bytes");
@@ -140,6 +143,11 @@ int main(int argc, char** argv) {
   options.prefetch_distance = static_cast<int>(flags.GetInt("distance"));
   options.max_decode_tokens = static_cast<int>(flags.GetInt("max-decode"));
   options.store_capacity = static_cast<size_t>(flags.GetInt("store-capacity"));
+  if (!ParseMapPrecision(flags.GetString("map-precision"), &options.map_precision)) {
+    std::cerr << "error: unknown map precision '" << flags.GetString("map-precision")
+              << "' (expected fp32 | fp16 | int8)\n";
+    return 1;
+  }
   options.gpu_count = static_cast<int>(flags.GetInt("gpus"));
   options.cache_bytes =
       static_cast<uint64_t>(flags.GetDouble("cache-gb") * (1ULL << 30));
@@ -246,7 +254,8 @@ int main(int argc, char** argv) {
   const std::string store_path = flags.GetString("save-store");
   if (!store_path.empty()) {
     SystemSpec spec = MakeSystem("fMoE", options.model, options.prefetch_distance,
-                                 options.store_capacity);
+                                 options.store_capacity, /*low_precision_threshold=*/0.0,
+                                 options.map_precision);
     EngineConfig config;
     config.prefetch_distance = options.prefetch_distance;
     config.gpu_count = options.gpu_count;

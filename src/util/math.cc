@@ -1,11 +1,20 @@
+// Dispatched build of the hot kernels (widest SIMD backend the build enables) plus the cold
+// double-precision helpers. The kernel bodies live in math_kernels.h; the bitwise scalar
+// reference of the same bodies is built separately in math_scalar.cc.
 #include "src/util/math.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
+#include "src/util/math_kernels.h"
+#include "src/util/simd.h"
+
 namespace fmoe {
+
+const char* SimdLevelName() { return simd::kLevelName; }
 
 double Dot(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
@@ -27,133 +36,73 @@ double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
   return Dot(a, b) / (na * nb);
 }
 
-namespace {
-
-// Accurate inner loop: 4 independent double accumulators over float inputs. The accumulator
-// layout is fixed by the element index, never by how callers partition rows, which keeps
-// results bitwise deterministic.
-inline double DotRowAccurate(const float* a, const float* b, size_t n) {
-  double acc0 = 0.0;
-  double acc1 = 0.0;
-  double acc2 = 0.0;
-  double acc3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-    acc1 += static_cast<double>(a[i + 1]) * static_cast<double>(b[i + 1]);
-    acc2 += static_cast<double>(a[i + 2]) * static_cast<double>(b[i + 2]);
-    acc3 += static_cast<double>(a[i + 3]) * static_cast<double>(b[i + 3]);
-  }
-  for (; i < n; ++i) {
-    acc0 += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-  }
-  return (acc0 + acc1) + (acc2 + acc3);
-}
-
-// Fast inner loop: 8 float accumulators over 64-element blocks, each block pairwise-reduced
-// and flushed into the double total. The longest float addition chain is 8 adds + a 3-level
-// pairwise reduce, so the rounding error stays O(eps) regardless of n, and the blocking is
-// fixed by the element index alone (deterministic across partitionings). The float arithmetic
-// autovectorizes at twice the width of the double version.
-inline double DotRowFast(const float* __restrict a, const float* __restrict b, size_t n) {
-  double total = 0.0;
-  size_t i = 0;
-  for (; i + 64 <= n; i += 64) {
-    float acc[8] = {};
-    for (size_t j = 0; j < 64; j += 8) {
-      for (int k = 0; k < 8; ++k) {
-        acc[k] += a[i + j + static_cast<size_t>(k)] * b[i + j + static_cast<size_t>(k)];
-      }
-    }
-    total += static_cast<double>(((acc[0] + acc[1]) + (acc[2] + acc[3])) +
-                                 ((acc[4] + acc[5]) + (acc[6] + acc[7])));
-  }
-  if (i < n) {
-    float acc[8] = {};
-    for (; i + 8 <= n; i += 8) {
-      for (int k = 0; k < 8; ++k) {
-        acc[k] += a[i + static_cast<size_t>(k)] * b[i + static_cast<size_t>(k)];
-      }
-    }
-    total += static_cast<double>(((acc[0] + acc[1]) + (acc[2] + acc[3])) +
-                                 ((acc[4] + acc[5]) + (acc[6] + acc[7])));
-    for (; i < n; ++i) {
-      total += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-    }
-  }
-  return total;
-}
-
-}  // namespace
-
 double DotF(std::span<const float> a, std::span<const float> b) {
   assert(a.size() == b.size());
-  return DotRowAccurate(a.data(), b.data(), a.size());
+  return KDotRowAccurate(a.data(), b.data(), a.size());
 }
 
 void DotBatched(std::span<const float> query, const float* rows, size_t row_stride,
                 size_t count, double* out, bool accumulate) {
-  assert(row_stride >= query.size());
-  const size_t dim = query.size();
-  for (size_t r = 0; r < count; ++r) {
-    const double dot = DotRowFast(query.data(), rows + r * row_stride, dim);
-    out[r] = accumulate ? out[r] + dot : dot;
-  }
+  KDotBatched(query, rows, row_stride, count, out, accumulate);
 }
 
 void CosineAgainstRows(std::span<const float> query, double inv_query_norm, const float* rows,
                        size_t row_stride, size_t count, const double* inv_row_norms,
                        double* out) {
-  DotBatched(query, rows, row_stride, count, out, /*accumulate=*/false);
-  for (size_t r = 0; r < count; ++r) {
-    out[r] *= inv_query_norm * inv_row_norms[r];
-  }
+  KCosineAgainstRows(query, inv_query_norm, rows, row_stride, count, inv_row_norms, out);
 }
 
 void AccumulateColumns(std::span<const float> coeffs, const float* cols, size_t col_stride,
                        size_t count, double* out) {
-  // Tile the output so the float accumulator tile and the double outputs stay in L1 while the
-  // column data streams through, and flush the tile into the doubles every kFlushCoeffs
-  // coefficients to bound the float addition chains. Both block sizes are compile-time
-  // constants, so per-element arithmetic — and therefore the result — is identical no matter
-  // how callers split [0, count) across threads.
-  constexpr size_t kTile = 2048;
-  constexpr size_t kFlushCoeffs = 16;
-  float tile[kTile];
-  for (size_t t0 = 0; t0 < count; t0 += kTile) {
-    const size_t tn = std::min(kTile, count - t0);
-    for (size_t k0 = 0; k0 < coeffs.size(); k0 += kFlushCoeffs) {
-      const size_t k_end = std::min(coeffs.size(), k0 + kFlushCoeffs);
-      std::fill_n(tile, tn, 0.0f);
-      for (size_t k = k0; k < k_end; ++k) {
-        const float* __restrict col = cols + k * col_stride + t0;
-        const float coeff = coeffs[k];
-        for (size_t i = 0; i < tn; ++i) {
-          tile[i] += coeff * col[i];
-        }
-      }
-      double* __restrict dst = out + t0;
-      for (size_t i = 0; i < tn; ++i) {
-        dst[i] += static_cast<double>(tile[i]);
-      }
-    }
+  KAccumulateColumns(coeffs, cols, col_stride, count, out);
+}
+
+uint16_t Fp16FromFloat(float value) { return KFloatToHalf(value); }
+
+float Fp16ToFloat(uint16_t bits) { return KHalfToFloat(bits); }
+
+void AccumulateColumnsF16(std::span<const float> coeffs, const uint16_t* cols,
+                          size_t col_stride, size_t count, double* out) {
+  KAccumulateColumnsF16(coeffs, cols, col_stride, count, out);
+}
+
+void FoldQ8Coeffs(std::span<const float> coeffs, const float* col_scales,
+                  const float* col_offsets, Q8Coeffs* out) {
+  // All folding math is plain scalar double arithmetic — one shared definition, so the
+  // dispatched and scalar kernels consume identical folded coefficients.
+  const size_t n = coeffs.size();
+  out->q.resize(n);
+  double offset_term = 0.0;
+  double max_abs = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    const double folded = static_cast<double>(coeffs[k]) * static_cast<double>(col_scales[k]);
+    max_abs = std::max(max_abs, std::abs(folded));
+    offset_term += static_cast<double>(coeffs[k]) * static_cast<double>(col_offsets[k]);
+  }
+  out->offset_term = offset_term;
+  if (max_abs == 0.0) {
+    std::fill(out->q.begin(), out->q.end(), 0);
+    out->scale = 0.0;
+    return;
+  }
+  const double qscale = max_abs / 32767.0;
+  const double inv_qscale = 32767.0 / max_abs;
+  out->scale = qscale;
+  for (size_t k = 0; k < n; ++k) {
+    const double folded = static_cast<double>(coeffs[k]) * static_cast<double>(col_scales[k]);
+    const double scaled = folded * inv_qscale;
+    out->q[k] = static_cast<int32_t>(
+        std::lround(std::clamp(scaled, -32767.0, 32767.0)));
   }
 }
 
+void AccumulateColumnsQ8(const Q8Coeffs& coeffs, const uint8_t* cols, size_t col_stride,
+                         size_t count, double* out) {
+  KAccumulateColumnsQ8(coeffs, cols, col_stride, count, out);
+}
+
 void SoftmaxInPlace(std::vector<double>& logits, double temperature) {
-  assert(temperature > 0.0);
-  if (logits.empty()) {
-    return;
-  }
-  const double max_logit = *std::max_element(logits.begin(), logits.end());
-  double sum = 0.0;
-  for (double& v : logits) {
-    v = std::exp((v - max_logit) / temperature);
-    sum += v;
-  }
-  for (double& v : logits) {
-    v /= sum;
-  }
+  KSoftmaxInPlace(logits, temperature);
 }
 
 std::vector<double> Softmax(std::span<const double> logits, double temperature) {
@@ -186,17 +135,7 @@ std::vector<size_t> TopKIndices(std::span<const double> values, size_t k) {
 }
 
 void TopKIndicesInto(std::span<const double> values, size_t k, std::vector<size_t>* out) {
-  k = std::min(k, values.size());
-  out->resize(values.size());
-  std::iota(out->begin(), out->end(), size_t{0});
-  std::partial_sort(out->begin(), out->begin() + static_cast<ptrdiff_t>(k), out->end(),
-                    [&](size_t a, size_t b) {
-                      if (values[a] != values[b]) {
-                        return values[a] > values[b];
-                      }
-                      return a < b;
-                    });
-  out->resize(k);
+  KTopKIndicesInto(values, k, out);
 }
 
 std::vector<size_t> MassCoverIndices(std::span<const double> probs, double threshold,

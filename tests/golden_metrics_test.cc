@@ -94,5 +94,32 @@ TEST(GoldenMetricsTest, FmoeAsyncPipelineMixtralSmall) {
   CompareOrUpdate("offline_mixtral_async_scale1.json", RenderReport(results));
 }
 
+// Quantized map stores are tolerance-checked, never byte-pinned (DESIGN.md §5g): the fp32
+// golden above stays the byte-exact contract, and the fp16/int8 runs of the same workload
+// must land within documented bounds of it — matching accuracy may shift argmax decisions on
+// near-ties, so the bound is on the end-to-end metrics quantization can actually move. The
+// store itself must report the 2×/4× Fig. 16 footprint shrink the quantization buys.
+TEST(GoldenMetricsTest, QuantizedStoresTrackFp32WithinTolerance) {
+  ExperimentOptions options = GoldenOptions();
+  const ExperimentResult fp32 = RunOffline("fMoE", options);
+  ASSERT_GT(fp32.hit_rate, 0.0);
+  for (const MapPrecision precision : {MapPrecision::kFp16, MapPrecision::kInt8}) {
+    SCOPED_TRACE(MapPrecisionName(precision));
+    options.map_precision = precision;
+    const ExperimentResult quantized = RunOffline("fMoE", options);
+    // Same workload shape regardless of precision.
+    EXPECT_EQ(quantized.iterations, fp32.iterations);
+    // End-to-end hit-rate delta bound: two percentage points.
+    EXPECT_NEAR(quantized.hit_rate, fp32.hit_rate, 0.02);
+    // Latency metrics follow the hit rate; 5% relative epsilon.
+    EXPECT_NEAR(quantized.mean_ttft, fp32.mean_ttft, 0.05 * fp32.mean_ttft);
+    EXPECT_NEAR(quantized.mean_tpot, fp32.mean_tpot, 0.05 * fp32.mean_tpot);
+    // Match scores are cosines of slightly perturbed vectors.
+    EXPECT_NEAR(quantized.mean_trajectory_score, fp32.mean_trajectory_score, 0.02);
+    EXPECT_NEAR(quantized.mean_semantic_score, fp32.mean_semantic_score, 1e-9)
+        << "embeddings are not quantized; semantic scores must not move";
+  }
+}
+
 }  // namespace
 }  // namespace fmoe

@@ -1,7 +1,10 @@
 #include "src/util/math.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <random>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -122,6 +125,47 @@ TEST(NormalizedEntropyTest, SingleElementIsZero) {
   EXPECT_DOUBLE_EQ(NormalizedEntropy(single), 0.0);
 }
 
+// Regression tests for the non-finite guard: softmax used to propagate NaN/inf straight into
+// the probabilities (exp(inf - inf) = NaN), poisoning every downstream cosine. The contract
+// is now graceful degradation — one-hot at the largest logit, NaN never wins, uniform when
+// nothing compares greater than -inf.
+TEST(SoftmaxTest, NanLogitYieldsOneHotAtMax) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> logits{1.0, nan, 3.0, 2.0};
+  SoftmaxInPlace(logits);
+  EXPECT_EQ(logits, (std::vector<double>{0.0, 0.0, 1.0, 0.0}));
+}
+
+TEST(SoftmaxTest, PositiveInfinityWinsTiesToLowestIndex) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> logits{1.0, inf, 3.0, inf};
+  SoftmaxInPlace(logits);
+  EXPECT_EQ(logits, (std::vector<double>{0.0, 1.0, 0.0, 0.0}));
+}
+
+TEST(SoftmaxTest, AllNanOrNegativeInfinityFallsBackToUniform) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::vector<double> logits :
+       {std::vector<double>{nan, nan, nan, nan}, std::vector<double>{-inf, -inf, -inf, -inf}}) {
+    SoftmaxInPlace(logits);
+    EXPECT_EQ(logits, (std::vector<double>{0.25, 0.25, 0.25, 0.25}));
+  }
+}
+
+TEST(SoftmaxTest, NonFiniteBeyondFirstLaneGroupStillGuarded) {
+  // The finiteness scan is vectorized 8 lanes at a time; a NaN in the scalar tail must be
+  // caught just like one in a full lane group.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> logits(17, 0.5);
+  logits[16] = nan;
+  logits[3] = 2.0;
+  SoftmaxInPlace(logits);
+  std::vector<double> expected(17, 0.0);
+  expected[3] = 1.0;
+  EXPECT_EQ(logits, expected);
+}
+
 TEST(TopKIndicesTest, PicksLargestInOrder) {
   const std::vector<double> values{0.1, 0.5, 0.3, 0.7};
   const std::vector<size_t> top = TopKIndices(values, 2);
@@ -140,6 +184,83 @@ TEST(TopKIndicesTest, TiesBrokenByLowerIndex) {
   const std::vector<size_t> top = TopKIndices(values, 2);
   EXPECT_EQ(top[0], 0u);
   EXPECT_EQ(top[1], 1u);
+}
+
+// Property test: for random tie-heavy inputs and every k (including k = 0, k = n, k > n),
+// TopKIndicesInto must return exactly the first k entries of the full (value desc, index asc)
+// sort — the total order under which the selection answer is unique. This pins the
+// tie-breaking contract across the small-k fast path and the general path.
+TEST(TopKIndicesIntoTest, MatchesFullSortPrefixUnderHeavyTies) {
+  std::mt19937_64 rng(1234);
+  std::uniform_int_distribution<int> level(0, 4);
+  for (const size_t n : {0u, 1u, 2u, 7u, 8u, 9u, 33u, 100u}) {
+    std::vector<double> values(n);
+    for (double& v : values) {
+      v = 0.2 * level(rng);
+    }
+    std::vector<size_t> sorted(n);
+    std::iota(sorted.begin(), sorted.end(), size_t{0});
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return values[a] != values[b] ? values[a] > values[b] : a < b;
+    });
+    std::vector<size_t> out;
+    for (size_t k = 0; k <= n + 2; ++k) {
+      TopKIndicesInto(values, k, &out);
+      const size_t want = std::min(k, n);
+      ASSERT_EQ(out.size(), want) << "n=" << n << " k=" << k;
+      for (size_t i = 0; i < want; ++i) {
+        ASSERT_EQ(out[i], sorted[i]) << "n=" << n << " k=" << k << " position " << i;
+      }
+    }
+  }
+}
+
+TEST(TopKIndicesIntoTest, ReusesOutputVectorAcrossCalls) {
+  const std::vector<double> values{0.1, 0.9, 0.5};
+  std::vector<size_t> out{7, 7, 7, 7, 7};  // Stale contents must be fully overwritten.
+  TopKIndicesInto(values, 2, &out);
+  EXPECT_EQ(out, (std::vector<size_t>{1u, 2u}));
+  TopKIndicesInto(values, 0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MassCoverIndicesTest, KLargerThanSizeReturnsAllInSortedOrder) {
+  const std::vector<double> probs{0.1, 0.7, 0.2};
+  const std::vector<size_t> picked = MassCoverIndices(probs, 0.5, 10);
+  EXPECT_EQ(picked, (std::vector<size_t>{1u, 2u, 0u}));
+}
+
+TEST(MassCoverIndicesTest, AllZeroProbsDegradeGracefully) {
+  // A zeroed distribution can never reach a positive threshold, so the cover degenerates to
+  // the whole index set (in tie-break order) — never an infinite loop or an empty pick. With
+  // threshold 0 the min_count floor alone decides.
+  const std::vector<double> probs{0.0, 0.0, 0.0, 0.0};
+  EXPECT_EQ(MassCoverIndices(probs, 0.9, 2), (std::vector<size_t>{0u, 1u, 2u, 3u}));
+  EXPECT_EQ(MassCoverIndices(probs, 0.0, 1), (std::vector<size_t>{0u}));
+}
+
+TEST(MassCoverIndicesTest, ThresholdZeroAndOneBracketTheSelection) {
+  // Property: threshold 0 always returns exactly min_count entries; threshold 1 always
+  // returns the whole distribution (mass can only reach 1 with every entry included).
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (const size_t n : {1u, 3u, 8u, 20u}) {
+    std::vector<double> probs(n);
+    double sum = 0.0;
+    for (double& p : probs) {
+      p = dist(rng);
+      sum += p;
+    }
+    for (double& p : probs) {
+      p /= sum;
+    }
+    EXPECT_EQ(MassCoverIndices(probs, 0.0, 1).size(), 1u) << "n=" << n;
+    EXPECT_EQ(MassCoverIndices(probs, 1.0, 1).size(), n) << "n=" << n;
+  }
+}
+
+TEST(MassCoverIndicesTest, EmptyDistributionSelectsNothing) {
+  EXPECT_TRUE(MassCoverIndices({}, 0.5, 3).empty());
 }
 
 TEST(MassCoverIndicesTest, CoversThreshold) {
