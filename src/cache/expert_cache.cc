@@ -396,7 +396,7 @@ bool ExpertCache::Insert(const CacheEntry& entry, double now, std::vector<CacheE
   if (LookupSlot(entry.key) != kNilSlot) {
     return false;
   }
-  if (entry.bytes > capacity_bytes_) {
+  if (entry.bytes > effective_capacity_bytes()) {
     ++stats_.rejected_insertions;
     return false;
   }
@@ -404,7 +404,7 @@ bool ExpertCache::Insert(const CacheEntry& entry, double now, std::vector<CacheE
   // map replays the erase/emplace sequence of the seed implementation exactly, so iteration
   // order — and with it every future tie-break — evolves identically.
   victims_scratch_.clear();
-  while (used_bytes_ + entry.bytes > capacity_bytes_) {
+  while (used_bytes_ + entry.bytes > effective_capacity_bytes()) {
     uint64_t victim_key = 0;
     if (!PickVictim(now, &victim_key)) {
       for (const CacheEntry& v : victims_scratch_) {  // Roll back: victims go home.
@@ -435,6 +435,35 @@ bool ExpertCache::Insert(const CacheEntry& entry, double now, std::vector<CacheE
     trace_->Counter(trace_track_, "cache.entries", now, static_cast<double>(occupied_));
   }
   return true;
+}
+
+bool ExpertCache::SetReservation(uint64_t bytes, double now, std::vector<CacheEntry>* evicted) {
+  reserved_bytes_ = bytes;
+  victims_scratch_.clear();
+  while (used_bytes_ > effective_capacity_bytes()) {
+    uint64_t victim_key = 0;
+    if (!PickVictim(now, &victim_key)) {
+      break;  // Only pinned entries left; best effort until pins release.
+    }
+    victims_scratch_.push_back(RemoveResident(victim_key));
+  }
+  stats_.evictions += victims_scratch_.size();
+  if (evicted != nullptr) {
+    evicted->assign(victims_scratch_.begin(), victims_scratch_.end());
+  }
+  if (trace_) {
+    for (const CacheEntry& victim : victims_scratch_) {
+      trace_->OnEvicted(victim.key);
+      trace_->Instant(trace_track_, "evict", "cache", now,
+                      {TraceArg::Uint("key", victim.key), TraceArg::Uint("bytes", victim.bytes),
+                       TraceArg::Uint("reserved", bytes)});
+    }
+    if (!victims_scratch_.empty()) {
+      trace_->Counter(trace_track_, "cache.used_bytes", now, static_cast<double>(used_bytes_));
+      trace_->Counter(trace_track_, "cache.entries", now, static_cast<double>(occupied_));
+    }
+  }
+  return used_bytes_ <= effective_capacity_bytes();
 }
 
 bool ExpertCache::Remove(uint64_t key, CacheEntry* removed) {

@@ -110,6 +110,12 @@ class ExpertCache {
 
   uint64_t capacity_bytes() const { return capacity_bytes_; }
   uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t reserved_bytes() const { return reserved_bytes_; }
+  // Bytes actually available to expert entries: capacity minus the external reservation
+  // (KV-cache pressure). Saturates at zero. With no reservation this is capacity_bytes().
+  uint64_t effective_capacity_bytes() const {
+    return capacity_bytes_ > reserved_bytes_ ? capacity_bytes_ - reserved_bytes_ : 0;
+  }
   size_t size() const { return occupied_; }
   const CacheStats& stats() const { return stats_; }
   const CacheIndexStats& index_stats() const { return index_stats_; }
@@ -136,6 +142,13 @@ class ExpertCache {
 
   // Removes an entry outright (e.g. policy-driven offload). Returns the removed entry.
   bool Remove(uint64_t key, CacheEntry* removed);
+
+  // Reserves `bytes` of the byte budget for an external consumer (the growing KV cache),
+  // shrinking the capacity Insert may fill. Entries are evicted by policy until the resident
+  // set fits the new effective capacity; victims land in `evicted` (if non-null) for the
+  // caller to clean up. Returns false when pinned entries keep used_bytes above the effective
+  // capacity (the reservation is then best-effort until pins release).
+  bool SetReservation(uint64_t bytes, double now, std::vector<CacheEntry>* evicted);
 
   // Records a cache hit: bumps frequency and last-access time.
   void Touch(uint64_t key, double now);
@@ -219,6 +232,7 @@ class ExpertCache {
   CacheEntry RemoveResident(uint64_t key);
 
   uint64_t capacity_bytes_;
+  uint64_t reserved_bytes_ = 0;
   const EvictionPolicy* policy_;  // Not owned.
   TraceRecorder* trace_ = nullptr;  // Not owned; null = tracing disabled.
   int trace_track_ = 0;

@@ -44,13 +44,13 @@ bool ReferenceExpertCache::Insert(const CacheEntry& entry, double now,
   if (entries_.contains(entry.key)) {
     return false;
   }
-  if (entry.bytes > capacity_bytes_) {
+  if (entry.bytes > effective_capacity_bytes()) {
     ++stats_.rejected_insertions;
     return false;
   }
   // Tentatively evict until the entry fits; roll back if we run out of victims.
   std::vector<CacheEntry> victims;
-  while (used_bytes_ + entry.bytes > capacity_bytes_) {
+  while (used_bytes_ + entry.bytes > effective_capacity_bytes()) {
     uint64_t victim_key = 0;
     if (!PickVictim(now, &victim_key)) {
       // Roll back: victims go home.
@@ -74,6 +74,27 @@ bool ReferenceExpertCache::Insert(const CacheEntry& entry, double now,
     *evicted = std::move(victims);
   }
   return true;
+}
+
+bool ReferenceExpertCache::SetReservation(uint64_t bytes, double now,
+                                          std::vector<CacheEntry>* evicted) {
+  reserved_bytes_ = bytes;
+  std::vector<CacheEntry> victims;
+  while (used_bytes_ > effective_capacity_bytes()) {
+    uint64_t victim_key = 0;
+    if (!PickVictim(now, &victim_key)) {
+      break;  // Only pinned entries left; best effort until pins release.
+    }
+    const auto it = entries_.find(victim_key);
+    victims.push_back(it->second);
+    used_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+  }
+  stats_.evictions += victims.size();
+  if (evicted != nullptr) {
+    *evicted = std::move(victims);
+  }
+  return used_bytes_ <= effective_capacity_bytes();
 }
 
 bool ReferenceExpertCache::Remove(uint64_t key, CacheEntry* removed) {

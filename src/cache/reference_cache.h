@@ -22,6 +22,10 @@ class ReferenceExpertCache {
 
   uint64_t capacity_bytes() const { return capacity_bytes_; }
   uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t reserved_bytes() const { return reserved_bytes_; }
+  uint64_t effective_capacity_bytes() const {
+    return capacity_bytes_ > reserved_bytes_ ? capacity_bytes_ - reserved_bytes_ : 0;
+  }
   size_t size() const { return entries_.size(); }
   const CacheStats& stats() const { return stats_; }
 
@@ -31,6 +35,7 @@ class ReferenceExpertCache {
 
   bool Insert(const CacheEntry& entry, double now, std::vector<CacheEntry>* evicted);
   bool Remove(uint64_t key, CacheEntry* removed);
+  bool SetReservation(uint64_t bytes, double now, std::vector<CacheEntry>* evicted);
   void Touch(uint64_t key, double now);
   void SetProbability(uint64_t key, double probability);
   void Pin(uint64_t key);
@@ -43,6 +48,7 @@ class ReferenceExpertCache {
   bool PickVictim(double now, uint64_t* victim) const;
 
   uint64_t capacity_bytes_;
+  uint64_t reserved_bytes_ = 0;
   const EvictionPolicy* policy_;  // Not owned.
   uint64_t used_bytes_ = 0;
   std::unordered_map<uint64_t, CacheEntry> entries_;

@@ -40,8 +40,8 @@ FmoePolicy::PrefetchCommand FmoePolicy::BuildCommand(const HybridMatcher& matche
 }
 
 void FmoePolicy::ApplyCommand(EngineHandle& engine, const PrefetchCommand& command,
-                              double low_precision_threshold,
-                              double low_precision_fraction) {
+                              double low_precision_threshold, double low_precision_fraction,
+                              int host_stage_candidates) {
   // Re-stamp the whole layer's distribution on resident experts so eviction priorities track
   // the *current* matched map, not stale history (§4.5).
   for (size_t j = 0; j < command.stamp_probs.size(); ++j) {
@@ -56,6 +56,34 @@ void FmoePolicy::ApplyCommand(EngineHandle& engine, const PrefetchCommand& comma
                                 low_precision_fraction);
     } else {
       engine.PrefetchAsync(id, candidate.probability, candidate.priority);
+    }
+  }
+  if (host_stage_candidates > 0) {
+    // Tier-aware staging: the next-best scored experts that did NOT make the prefetch cut are
+    // pushed NVMe→host, so a later match or demand miss pays only the host→GPU hop. Repeated
+    // top-1 selection over the (small) expert axis; no-op on two-tier engines.
+    std::vector<bool> taken(command.stamp_probs.size(), false);
+    for (const PrefetchCandidate& candidate : command.candidates) {
+      if (candidate.expert >= 0 && static_cast<size_t>(candidate.expert) < taken.size()) {
+        taken[static_cast<size_t>(candidate.expert)] = true;
+      }
+    }
+    for (int n = 0; n < host_stage_candidates; ++n) {
+      int best = -1;
+      for (size_t j = 0; j < command.stamp_probs.size(); ++j) {
+        if (taken[j]) {
+          continue;
+        }
+        if (best < 0 || command.stamp_probs[j] > command.stamp_probs[static_cast<size_t>(best)]) {
+          best = static_cast<int>(j);
+        }
+      }
+      if (best < 0 || command.stamp_probs[static_cast<size_t>(best)] <= 0.0) {
+        break;
+      }
+      taken[static_cast<size_t>(best)] = true;
+      engine.StageToHostAsync(ExpertId{command.target_layer, best},
+                              command.stamp_probs[static_cast<size_t>(best)]);
     }
   }
   // Issuing transfers is a handful of queue operations per candidate — async, cheap.
@@ -73,7 +101,7 @@ void FmoePolicy::PublishMatchWork(EngineHandle& engine, double cost_seconds, uin
     }
     for (const PrefetchCommand& command : commands) {
       ApplyCommand(engine, command, options_.low_precision_threshold,
-                   options_.low_precision_fraction);
+                   options_.low_precision_fraction, options_.host_stage_candidates);
     }
     return;
   }
@@ -81,9 +109,11 @@ void FmoePolicy::PublishMatchWork(EngineHandle& engine, double cost_seconds, uin
   if (!commands.empty()) {
     apply = [commands = std::move(commands),
              low_precision_threshold = options_.low_precision_threshold,
-             low_precision_fraction = options_.low_precision_fraction](EngineHandle& e) {
+             low_precision_fraction = options_.low_precision_fraction,
+             host_stage_candidates = options_.host_stage_candidates](EngineHandle& e) {
       for (const PrefetchCommand& command : commands) {
-        ApplyCommand(e, command, low_precision_threshold, low_precision_fraction);
+        ApplyCommand(e, command, low_precision_threshold, low_precision_fraction,
+                     host_stage_candidates);
       }
     };
   }

@@ -53,6 +53,10 @@ struct FmoeOptions {
   // (the paper's lossless default).
   double low_precision_threshold = 0.0;
   double low_precision_fraction = 0.5;
+  // Tier-aware prefetch (multi-tier engines only): the top N scored-but-not-selected map
+  // candidates per matched layer are speculatively staged NVMe→host, so a later match (or a
+  // demand miss) pays only the host→GPU hop. 0 disables; two-tier engines no-op regardless.
+  int host_stage_candidates = 0;
   std::string variant_name = "fMoE";
 };
 
@@ -105,7 +109,8 @@ class FmoePolicy : public OffloadPolicy {
   PrefetchCommand BuildCommand(const HybridMatcher& matcher, int target_layer,
                                int current_layer) const;
   static void ApplyCommand(EngineHandle& engine, const PrefetchCommand& command,
-                           double low_precision_threshold, double low_precision_fraction);
+                           double low_precision_threshold, double low_precision_fraction,
+                           int host_stage_candidates);
   // Publishes `cost_seconds` of matcher work carrying `commands` on `topic` (kAsync), or runs
   // the legacy inline path when publish_deferred is off.
   void PublishMatchWork(EngineHandle& engine, double cost_seconds, uint64_t topic,

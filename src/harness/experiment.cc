@@ -32,6 +32,7 @@ EngineConfig MakeEngineConfig(const ExperimentOptions& options, const SystemSpec
   config.seed = options.seed;
   config.matcher_latency_scale = options.matcher_latency_scale;
   config.matcher_queue_depth = options.matcher_queue_depth;
+  config.tier = options.tier;
   config.trace = options.trace;
   return config;
 }
@@ -39,7 +40,7 @@ EngineConfig MakeEngineConfig(const ExperimentOptions& options, const SystemSpec
 SystemSpec MakeSystemFor(const std::string& system_name, const ExperimentOptions& options) {
   return MakeSystem(system_name, options.model, options.prefetch_distance,
                     options.store_capacity, options.low_precision_threshold,
-                    options.map_precision);
+                    options.map_precision, options.host_stage_candidates);
 }
 
 void FillResult(const std::string& system_name, const ExperimentOptions& options,
@@ -57,6 +58,13 @@ void FillResult(const std::string& system_name, const ExperimentOptions& options
   result->cache_used_gb = static_cast<double>(engine.cache().used_bytes()) / kGiB;
   result->request_latencies = metrics.EndToEndLatencies();
   result->low_precision_share = metrics.LowPrecisionShare();
+  if (engine.store().enabled()) {
+    result->tier_enabled = true;
+    result->tier = engine.store().stats();
+    result->host_capacity_gb =
+        static_cast<double>(engine.store().host().capacity_bytes()) / kGiB;
+    result->host_used_gb = static_cast<double>(engine.store().host().used_bytes()) / kGiB;
+  }
   if (options.keep_iteration_records) {
     result->iteration_records = metrics.iteration_records();
   }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/tiered_store.h"
 #include "src/core/fmoe_policy.h"
 #include "src/harness/systems.h"
 #include "src/memsim/gpu.h"
@@ -53,6 +54,12 @@ struct ExperimentOptions {
   // Expert Map Store column precision (fMoE-family systems; DESIGN.md §5g). fp16/int8 trade
   // tolerance-bounded match accuracy for a 2×/4× smaller Fig. 16 store footprint.
   MapPrecision map_precision = MapPrecision::kFp32;
+  // Multi-tier store configuration (DESIGN.md §5h). The default (nvme_backing off) replays
+  // the legacy two-tier GPU↔host path bit-identically.
+  TierConfig tier;
+  // fMoE-family tier-aware prefetch: top-N scored-but-not-selected map candidates staged
+  // NVMe→host per matched layer. No-op unless tier.nvme_backing is on.
+  int host_stage_candidates = 0;
   GateProfile gate;
   HardwareProfile hardware;
   // Optional virtual-time trace recorder (not owned; must outlive the run). Pure observer:
@@ -82,6 +89,12 @@ struct ExperimentResult {
   // tokens of the completed requests (for SchedulerStats::Throughput).
   SchedulerStats scheduler_stats;
   uint64_t scheduled_tokens = 0;
+  // Multi-tier runs only (options.tier.nvme_backing): tier movement counters plus host-pool
+  // occupancy. tier_enabled is false on legacy two-tier runs (the report omits the block).
+  bool tier_enabled = false;
+  TierStats tier;
+  double host_capacity_gb = 0.0;
+  double host_used_gb = 0.0;
 };
 
 ExperimentResult RunOffline(const std::string& system_name, const ExperimentOptions& options);

@@ -101,6 +101,25 @@ void WriteResultJson(const ExperimentResult& result, bool include_latencies,
   out << "\"queue_wait_s\":" << Num(d.queue_wait_s) << ",";
   out << "\"decision_latency_s\":" << Num(d.decision_latency_s);
   out << "}";
+  if (result.tier_enabled) {
+    // Emitted only for multi-tier runs, so legacy (two-tier) reports stay byte-identical.
+    const TierStats& t = result.tier;
+    out << ",\"tier\":{";
+    out << "\"host_capacity_gb\":" << Num(result.host_capacity_gb) << ",";
+    out << "\"host_used_gb\":" << Num(result.host_used_gb) << ",";
+    out << "\"host_hits\":" << t.host_hits << ",";
+    out << "\"nvme_hits\":" << t.nvme_hits << ",";
+    out << "\"gpu_fills_from_host\":" << t.gpu_fills_from_host << ",";
+    out << "\"gpu_fills_chained\":" << t.gpu_fills_chained << ",";
+    out << "\"direct_loads\":" << t.direct_loads << ",";
+    out << "\"stages_issued\":" << t.stages_issued << ",";
+    out << "\"stages_landed\":" << t.stages_landed << ",";
+    out << "\"stage_promotions\":" << t.stage_promotions << ",";
+    out << "\"demotions_to_host\":" << t.demotions_to_host << ",";
+    out << "\"demotions_to_nvme\":" << t.demotions_to_nvme << ",";
+    out << "\"host_spills\":" << t.host_spills;
+    out << "}";
+  }
   if (include_latencies) {
     out << ",\"request_latencies_s\":[";
     for (size_t i = 0; i < result.request_latencies.size(); ++i) {

@@ -44,10 +44,14 @@ struct SystemSpec {
 // `map_precision` selects the Expert Map Store's column storage precision (DESIGN.md §5g);
 // it applies to every fMoE-family system and is a no-op for the baselines, which keep no map
 // store (EAM tracks hit counts, speculative/on-demand keep no history at all).
+// `host_stage_candidates` enables tier-aware prefetch for fMoE-family systems on multi-tier
+// engines: the top N scored-but-not-selected map candidates per matched layer are staged
+// NVMe→host speculatively. No-op (bit-identical) on two-tier engines and for baselines.
 SystemSpec MakeSystem(const std::string& name, const ModelConfig& model, int prefetch_distance,
                       size_t fmoe_store_capacity = 1000,
                       double low_precision_threshold = 0.0,
-                      MapPrecision map_precision = MapPrecision::kFp32);
+                      MapPrecision map_precision = MapPrecision::kFp32,
+                      int host_stage_candidates = 0);
 
 // The five systems of Figs. 9-11, worst-to-best order used in the paper's plots.
 std::vector<std::string> PaperSystemNames();

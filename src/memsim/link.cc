@@ -18,9 +18,15 @@ double PcieLink::TransferDuration(uint64_t bytes) const {
 }
 
 void PcieLink::EnqueuePrefetch(double now, uint64_t tag, uint64_t bytes) {
+  EnqueuePrefetchAfter(now, tag, bytes, now);
+}
+
+void PcieLink::EnqueuePrefetchAfter(double now, uint64_t tag, uint64_t bytes,
+                                    double earliest_start) {
   FMOE_CHECK_MSG(now + 1e-12 >= last_now_, "time moved backwards: " << now << " < " << last_now_);
+  FMOE_CHECK(earliest_start + 1e-12 >= now);
   Tick(now);
-  queue_.push_back(PendingTransfer{tag, bytes, now});
+  queue_.push_back(PendingTransfer{tag, bytes, now, earliest_start});
   // A prefetch enqueued while the link is idle starts immediately.
   StartEligiblePrefetches(now);
 }
@@ -41,11 +47,13 @@ bool PcieLink::CancelQueuedPrefetch(uint64_t tag) {
 }
 
 void PcieLink::StartEligiblePrefetches(double now) {
-  // A queued transfer starts at max(busy_until_, enqueue_time); it may only start once the
-  // simulation reaches that instant, so demand loads arriving earlier can still preempt it.
+  // A queued transfer starts at max(busy_until_, enqueue_time, earliest_start); it may only
+  // start once the simulation reaches that instant, so demand loads arriving earlier can still
+  // preempt it.
   while (!queue_.empty()) {
     const PendingTransfer& next = queue_.front();
-    const double start = std::max(busy_until_, next.enqueue_time);
+    const double start =
+        std::max(busy_until_, std::max(next.enqueue_time, next.earliest_start));
     if (start > now) {
       break;
     }
@@ -53,6 +61,7 @@ void PcieLink::StartEligiblePrefetches(double now) {
     busy_until_ = completion;
     total_prefetch_bytes_ += next.bytes;
     ++prefetch_count_;
+    total_busy_sec_ += completion - start;
     if (trace_) {
       trace_->Span(trace_track_, "prefetch", "transfer", start, completion,
                    {TraceArg::Uint("tag", next.tag), TraceArg::Uint("bytes", next.bytes),
@@ -66,16 +75,22 @@ void PcieLink::StartEligiblePrefetches(double now) {
 }
 
 double PcieLink::DemandLoad(double now, uint64_t bytes) {
+  return DemandLoadAfter(now, now, bytes);
+}
+
+double PcieLink::DemandLoadAfter(double now, double earliest_start, uint64_t bytes) {
   FMOE_CHECK_MSG(now + 1e-12 >= last_now_, "time moved backwards: " << now << " < " << last_now_);
   Tick(now);
   // The demand load waits only for the transfer already in flight (busy_until_ if in the
-  // future), never for queued prefetches — those are "paused" (stay queued behind it).
-  const double start = std::max(now, busy_until_);
+  // future) and for its upstream data availability, never for queued prefetches — those are
+  // "paused" (stay queued behind it).
+  const double start = std::max(std::max(now, earliest_start), busy_until_);
   const double completion = start + TransferDuration(bytes);
   busy_until_ = completion;
   total_demand_bytes_ += bytes;
   ++demand_load_count_;
   total_demand_wait_sec_ += completion - now;
+  total_busy_sec_ += completion - start;
   last_now_ = now;
   if (trace_) {
     trace_->Span(trace_track_, "demand-load", "transfer", start, completion,
@@ -97,6 +112,7 @@ void PcieLink::ResetStats() {
   demand_load_count_ = 0;
   prefetch_count_ = 0;
   total_demand_wait_sec_ = 0.0;
+  total_busy_sec_ = 0.0;
 }
 
 }  // namespace fmoe

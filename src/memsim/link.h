@@ -49,12 +49,25 @@ class PcieLink {
   // starts when the link becomes free at or after `now`.
   void EnqueuePrefetch(double now, uint64_t tag, uint64_t bytes);
 
+  // Like EnqueuePrefetch, but the transfer additionally may not start before `earliest_start`
+  // (>= now). Used for chained tier hops: a host→GPU copy cannot begin until the NVMe→host
+  // staging transfer that feeds it has landed. With earliest_start == now this is arithmetic-
+  // identical to EnqueuePrefetch.
+  void EnqueuePrefetchAfter(double now, uint64_t tag, uint64_t bytes, double earliest_start);
+
   // Cancels a queued (not yet started) prefetch with the given tag. Returns true if found.
   bool CancelQueuedPrefetch(uint64_t tag);
 
   // Synchronous high-priority load. Advances internal schedule, bypassing queued prefetches,
   // and returns the completion time (>= now). In-flight transfers are not aborted.
   double DemandLoad(double now, uint64_t bytes);
+
+  // Demand load whose data is only available from `earliest_start` (>= now) onwards — the
+  // downstream hop of a chained tier fetch. Schedule state advances exactly as DemandLoad
+  // (last_now_ stays at `now`); only the start instant is pushed to
+  // max(now, earliest_start, busy_until). With earliest_start <= now this is arithmetic-
+  // identical to DemandLoad.
+  double DemandLoadAfter(double now, double earliest_start, uint64_t bytes);
 
   // Advances the internal schedule to `now`: starts queued prefetches whose start time has
   // arrived and fires completion callbacks for transfers finished by `now`.
@@ -75,6 +88,11 @@ class PcieLink {
   uint64_t prefetch_count() const { return prefetch_count_; }
   double total_demand_wait_sec() const { return total_demand_wait_sec_; }
 
+  // Sum of (completion - start) over every transfer that has started on this link — the
+  // per-link busy-time ledger the tier property tests reconcile against
+  // fixed_latency * transfer_count + bytes / bandwidth.
+  double total_busy_sec() const { return total_busy_sec_; }
+
   void ResetStats();
 
  private:
@@ -82,6 +100,7 @@ class PcieLink {
     uint64_t tag = 0;
     uint64_t bytes = 0;
     double enqueue_time = 0.0;
+    double earliest_start = 0.0;
   };
 
   // Starts as many queued prefetches as fit before `now` (their start instants have passed).
@@ -100,6 +119,7 @@ class PcieLink {
   uint64_t demand_load_count_ = 0;
   uint64_t prefetch_count_ = 0;
   double total_demand_wait_sec_ = 0.0;
+  double total_busy_sec_ = 0.0;
 };
 
 }  // namespace fmoe

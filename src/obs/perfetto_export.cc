@@ -166,6 +166,13 @@ void WriteChromeTraceJson(const TraceRecorder& recorder, const std::string& proc
     WriteCounterValue(out, stall.seconds[i]);
     out << ",\"misses\":" << stall.misses[i] << '}';
   }
+  for (size_t i = 0; i < stall.tier_seconds.size(); ++i) {
+    out << ',';
+    WriteJsonString(out, StallTierName(static_cast<StallTier>(i)));
+    out << ":{\"seconds\":";
+    WriteCounterValue(out, stall.tier_seconds[i]);
+    out << ",\"misses\":" << stall.tier_misses[i] << '}';
+  }
   out << ",\"totalSeconds\":";
   WriteCounterValue(out, stall.total_seconds);
   out << ",\"totalMisses\":" << stall.total_misses << "}\n}\n";

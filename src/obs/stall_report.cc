@@ -20,6 +20,17 @@ std::string RenderStallReport(const StallAttribution& stall) {
     table.AddRow({StallClassName(static_cast<StallClass>(i)), AsciiTable::Num(stall.seconds[i], 6),
                   std::to_string(stall.misses[i]), share_buf});
   }
+  // Tier decomposition of the same misses: which storage tier served the bytes. A second,
+  // orthogonal partition — its shares also sum to 100% of the attributed total.
+  for (size_t i = 0; i < stall.tier_seconds.size(); ++i) {
+    const double share =
+        stall.total_seconds > 0.0 ? stall.tier_seconds[i] / stall.total_seconds * 100.0 : 0.0;
+    char share_buf[32];
+    std::snprintf(share_buf, sizeof(share_buf), "%.1f%%", share);
+    table.AddRow({StallTierName(static_cast<StallTier>(i)),
+                  AsciiTable::Num(stall.tier_seconds[i], 6), std::to_string(stall.tier_misses[i]),
+                  share_buf});
+  }
   table.AddRow({"total", AsciiTable::Num(stall.total_seconds, 6),
                 std::to_string(stall.total_misses), "100.0%"});
   table.Print(out);

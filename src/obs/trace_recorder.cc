@@ -55,9 +55,26 @@ const char* StallClassName(StallClass cls) {
   }
 }
 
+const char* StallTierName(StallTier tier) {
+  switch (tier) {
+    case StallTier::kHost:
+      return "served-from-host";
+    case StallTier::kNvme:
+      return "served-from-nvme";
+    default:
+      return "unknown";
+  }
+}
+
 double StallAttribution::CategorySum() const {
   double sum = 0.0;
   for (double s : seconds) sum += s;
+  return sum;
+}
+
+double StallAttribution::TierSum() const {
+  double sum = 0.0;
+  for (double s : tier_seconds) sum += s;
   return sum;
 }
 
@@ -160,6 +177,13 @@ void TraceRecorder::AttributeStall(StallClass cls, double seconds) {
   // miss, in serve order) so the totals compare bitwise equal.
   stall_.total_seconds += seconds;
   stall_.total_misses += 1;
+}
+
+void TraceRecorder::AttributeStallTier(StallTier tier, double seconds) {
+  const size_t i = static_cast<size_t>(tier);
+  FMOE_CHECK(i < static_cast<size_t>(StallTier::kCount));
+  stall_.tier_seconds[i] += seconds;
+  stall_.tier_misses[i] += 1;
 }
 
 void TraceRecorder::ClearEvents() {

@@ -74,16 +74,31 @@ enum class StallClass : uint8_t {
 
 const char* StallClassName(StallClass cls);
 
+// Which storage tier ultimately served a missed expert's bytes (the tier decomposition that
+// the multi-tier store adds on top of the StallClass taxonomy). Legacy two-tier runs charge
+// every miss to kHost — the offloaded copy lives host-side there by definition.
+enum class StallTier : uint8_t {
+  kHost = 0,  // Served from a host-RAM copy (hit-in-host).
+  kNvme = 1,  // Had to read NVMe (hit-in-nvme: staged through host or the direct path).
+  kCount,
+};
+
+const char* StallTierName(StallTier tier);
+
 // Accumulated stall attribution. `total_seconds` is accumulated with the same addition
 // sequence as the engine's demand_stall metric (one add per served miss, in serve order), so
-// the two compare bitwise equal; the per-class buckets partition the same stalls.
+// the two compare bitwise equal; the per-class buckets partition the same stalls. The tier
+// buckets are an independent second partition of the same misses by serving tier.
 struct StallAttribution {
   std::array<double, static_cast<size_t>(StallClass::kCount)> seconds = {};
   std::array<uint64_t, static_cast<size_t>(StallClass::kCount)> misses = {};
+  std::array<double, static_cast<size_t>(StallTier::kCount)> tier_seconds = {};
+  std::array<uint64_t, static_cast<size_t>(StallTier::kCount)> tier_misses = {};
   double total_seconds = 0.0;
   uint64_t total_misses = 0;
 
   double CategorySum() const;  // seconds[0] + seconds[1] + seconds[2].
+  double TierSum() const;      // tier_seconds[0] + tier_seconds[1].
 };
 
 class TraceRecorder {
@@ -131,6 +146,9 @@ class TraceRecorder {
   StallClass ClassifyMiss(uint64_t key, MissKind kind);
   // Charges `seconds` of demand stall (>= 0, possibly 0 for fully hidden misses) to `cls`.
   void AttributeStall(StallClass cls, double seconds);
+  // Charges the same stall to the tier that served the bytes (the orthogonal partition;
+  // callers invoke this alongside AttributeStall for every served miss).
+  void AttributeStallTier(StallTier tier, double seconds);
 
   const StallAttribution& stall() const { return stall_; }
 

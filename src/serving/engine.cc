@@ -30,9 +30,10 @@ ServingEngine::ServingEngine(const ModelConfig& model, const EngineConfig& confi
       cost_(model, config.hardware),
       cluster_(config.gpu_count, config.gpu),
       eviction_policy_(MakeEvictionPolicy(config.cache_policy)),
-      cache_(config.expert_cache_bytes == 0 ? model.total_expert_bytes()
+      store_(config.expert_cache_bytes == 0 ? model.total_expert_bytes()
                                             : config.expert_cache_bytes,
-             eviction_policy_.get()),
+             eviction_policy_.get(), config.tier),
+      cache_(store_.gpu()),
       matcher_(config.matcher_latency_scale, config.matcher_queue_depth),
       trace_(config.trace) {
   FMOE_CHECK(policy != nullptr);
@@ -54,6 +55,13 @@ ServingEngine::ServingEngine(const ModelConfig& model, const EngineConfig& confi
       cluster_.device(dev).set_trace(trace_, trace_->RegisterTrack(prefix + "/mem"),
                                      prefix + ".used_bytes");
     }
+    if (store_.enabled()) {
+      // Tier pseudo-threads are appended strictly after every legacy track, in a fixed order,
+      // so track ids — and the traced-vs-untraced bitwise goldens — never shift with config.
+      const int host_track = trace_->RegisterTrack("host_pool");
+      const int nvme_track = trace_->RegisterTrack("nvme/link");
+      store_.set_trace(trace_, host_track, nvme_track);
+    }
   }
   // Wire prefetch-start events from every device link back into cache bookkeeping.
   for (int dev = 0; dev < cluster_.device_count(); ++dev) {
@@ -62,6 +70,27 @@ ServingEngine::ServingEngine(const ModelConfig& model, const EngineConfig& confi
           OnTransferScheduled(dev, tag, completion);
         });
   }
+  // Tier chain plumbing: when an NVMe→host staging transfer is scheduled its chained
+  // host→GPU hop (if any) is enqueued with the staging completion as earliest start; direct
+  // NVMe→GPU transfers report back through the ordinary transfer-scheduled path.
+  store_.set_stage_scheduled_hook([this](uint64_t stage_tag, uint64_t key, double completion) {
+    const auto it = chains_by_stage_tag_.find(stage_tag);
+    if (it == chains_by_stage_tag_.end()) {
+      return;  // Speculative staging (or chain dropped by eviction): host copy only.
+    }
+    const ChainedPrefetch chain = it->second;
+    chains_by_stage_tag_.erase(it);
+    stage_tag_by_gpu_tag_.erase(chain.gpu_tag);
+    if (!transfer_key_by_tag_.contains(chain.gpu_tag)) {
+      return;  // The GPU entry was evicted while its staging was in flight.
+    }
+    FMOE_CHECK(chain.key == key);
+    LinkFor(chain.key).EnqueuePrefetchAfter(clock_.now(), chain.gpu_tag, chain.bytes,
+                                            std::max(clock_.now(), completion));
+  });
+  store_.set_direct_scheduled_hook([this](uint64_t tag, double completion) {
+    OnTransferScheduled(/*device=*/-1, tag, completion);
+  });
   if (config_.preload_all) {
     PreloadAllExperts();
   }
@@ -85,6 +114,7 @@ void ServingEngine::PreloadAllExperts() {
 }
 
 void ServingEngine::OnTransferScheduled(int /*device*/, uint64_t tag, double completion) {
+  direct_tags_.erase(tag);  // No-op except for scheduled NVMe→GPU direct transfers.
   const auto it = transfer_key_by_tag_.find(tag);
   if (it == transfer_key_by_tag_.end()) {
     return;  // Transfer belonged to an entry evicted before it started.
@@ -101,8 +131,22 @@ void ServingEngine::OnTransferScheduled(int /*device*/, uint64_t tag, double com
 void ServingEngine::CleanupEvicted(const std::vector<CacheEntry>& evicted) {
   for (const CacheEntry& victim : evicted) {
     if (victim.prefetch_pending && victim.transfer_tag != 0) {
-      LinkFor(victim.key).CancelQueuedPrefetch(victim.transfer_tag);
+      const auto chain_it = stage_tag_by_gpu_tag_.find(victim.transfer_tag);
+      if (chain_it != stage_tag_by_gpu_tag_.end()) {
+        // The GPU hop was never enqueued (still chained behind NVMe→host staging): drop the
+        // chain; the staging continues and lands as a plain host-pool copy.
+        chains_by_stage_tag_.erase(chain_it->second);
+        stage_tag_by_gpu_tag_.erase(chain_it);
+      } else if (direct_tags_.erase(victim.transfer_tag) > 0) {
+        store_.nvme_link().CancelQueuedPrefetch(victim.transfer_tag);
+      } else {
+        LinkFor(victim.key).CancelQueuedPrefetch(victim.transfer_tag);
+      }
       transfer_key_by_tag_.erase(victim.transfer_tag);
+    } else if (store_.enabled()) {
+      // The victim carried real resident data: demote GPU→host (spilling host→NVMe under
+      // pressure happens inside the store).
+      store_.DemoteGpuVictim(victim, clock_.now());
     }
     cluster_.DeviceFor(victim.key).Free(victim.bytes);
   }
@@ -156,7 +200,26 @@ void ServingEngine::PrefetchAsyncSized(ExpertId id, double probability, double /
     prefetch_pinned_by_layer_[static_cast<size_t>(id.layer)].push_back(key);
     ++prefetch_pinned_count_;
   }
-  device.link().EnqueuePrefetch(clock_.now(), tag, entry.bytes);
+  if (!store_.enabled()) {
+    device.link().EnqueuePrefetch(clock_.now(), tag, entry.bytes);
+  } else {
+    double earliest = clock_.now();
+    uint64_t stage_tag = 0;
+    switch (store_.PlanGpuFill(key, entry.bytes, clock_.now(), probability, &earliest,
+                               &stage_tag)) {
+      case TieredExpertStore::FillRoute::kFromHost:
+        device.link().EnqueuePrefetchAfter(clock_.now(), tag, entry.bytes, earliest);
+        break;
+      case TieredExpertStore::FillRoute::kChained:
+        chains_by_stage_tag_[stage_tag] = ChainedPrefetch{key, tag, entry.bytes};
+        stage_tag_by_gpu_tag_[tag] = stage_tag;
+        break;
+      case TieredExpertStore::FillRoute::kDirect:
+        direct_tags_.insert(tag);
+        store_.nvme_link().EnqueuePrefetch(clock_.now(), tag, entry.bytes);
+        break;
+    }
+  }
   if (trace_ != nullptr) {
     trace_->OnPrefetchIssued(key);
     trace_->Instant(trace_engine_track_, "prefetch-issue", "prefetch", clock_.now(),
@@ -178,12 +241,80 @@ void ServingEngine::ReleasePrefetchPins(int completed_layer) {
   }
 }
 
+void ServingEngine::StageToHostAsync(ExpertId id, double probability) {
+  if (!store_.enabled()) {
+    return;
+  }
+  const uint64_t key = KeyOf(id);
+  if (cache_.Contains(key)) {
+    return;  // Already GPU-resident; nothing to stage.
+  }
+  store_.StageToHost(key, model_.expert_bytes, clock_.now(), probability);
+}
+
+double ServingEngine::DemandFillMiss(uint64_t key, PcieLink& link,
+                                     TieredExpertStore::Tier* source) {
+  if (!store_.enabled()) {
+    return link.DemandLoad(clock_.now(), model_.expert_bytes);
+  }
+  if (store_.config().allow_direct_nvme_gpu && !store_.HostResident(key)) {
+    *source = TieredExpertStore::Tier::kNvme;
+    return store_.DirectDemand(key, model_.expert_bytes, clock_.now());
+  }
+  const double earliest = store_.EnsureHostSide(key, model_.expert_bytes, clock_.now(), source);
+  return link.DemandLoadAfter(clock_.now(), earliest, model_.expert_bytes);
+}
+
+double ServingEngine::PromoteQueuedToDemand(EntryRef& entry, uint64_t key, PcieLink& link,
+                                            TieredExpertStore::Tier* source) {
+  const uint64_t tag = entry.transfer_tag();
+  double ready = 0.0;
+  if (!store_.enabled()) {
+    link.CancelQueuedPrefetch(tag);
+    transfer_key_by_tag_.erase(tag);
+    entry.set_transfer_tag(0);
+    ready = link.DemandLoad(clock_.now(), entry.bytes());
+  } else if (const auto chain_it = stage_tag_by_gpu_tag_.find(tag);
+             chain_it != stage_tag_by_gpu_tag_.end()) {
+    // The host→GPU hop was never enqueued (still chained behind NVMe→host staging): resolve
+    // the whole chain on demand — promote the staging NVMe-side, then demand the PCIe hop
+    // behind the staged data's availability.
+    chains_by_stage_tag_.erase(chain_it->second);
+    stage_tag_by_gpu_tag_.erase(chain_it);
+    transfer_key_by_tag_.erase(tag);
+    entry.set_transfer_tag(0);
+    const double earliest = store_.EnsureHostSide(key, entry.bytes(), clock_.now(), source);
+    ready = link.DemandLoadAfter(clock_.now(), earliest, entry.bytes());
+  } else if (direct_tags_.erase(tag) > 0) {
+    store_.nvme_link().CancelQueuedPrefetch(tag);
+    transfer_key_by_tag_.erase(tag);
+    entry.set_transfer_tag(0);
+    *source = TieredExpertStore::Tier::kNvme;
+    ready = store_.DirectDemand(key, entry.bytes(), clock_.now());
+  } else {
+    // The hop is already queued on the PCIe link: promote it there, honouring the host
+    // copy's availability (it may still be landing from an earlier staging).
+    link.CancelQueuedPrefetch(tag);
+    transfer_key_by_tag_.erase(tag);
+    entry.set_transfer_tag(0);
+    ready = link.DemandLoadAfter(clock_.now(), store_.HostAvailableAt(key, clock_.now()),
+                                 entry.bytes());
+  }
+  entry.set_ready_at(ready);
+  entry.set_prefetch_pending(false);
+  return ready;
+}
+
 void ServingEngine::BlockingLoad(ExpertId id, double probability) {
   const uint64_t key = KeyOf(id);
   PcieLink& link = LinkFor(key);
   link.Tick(clock_.now());
+  if (store_.enabled()) {
+    store_.Tick(clock_.now());
+  }
   EntryRef entry = cache_.Find(key);
   double ready = 0.0;
+  TieredExpertStore::Tier source = TieredExpertStore::Tier::kHost;
   if (entry && !entry.prefetch_pending()) {
     if (entry.ready_at() <= clock_.now()) {
       entry.set_probability(probability);
@@ -192,14 +323,9 @@ void ServingEngine::BlockingLoad(ExpertId id, double probability) {
     ready = entry.ready_at();  // In flight: wait for it.
   } else if (entry) {
     // Queued but not started: promote to a demand transfer.
-    link.CancelQueuedPrefetch(entry.transfer_tag());
-    transfer_key_by_tag_.erase(entry.transfer_tag());
-    entry.set_transfer_tag(0);
-    ready = link.DemandLoad(clock_.now(), entry.bytes());
-    entry.set_ready_at(ready);
-    entry.set_prefetch_pending(false);
+    ready = PromoteQueuedToDemand(entry, key, link, &source);
   } else {
-    ready = link.DemandLoad(clock_.now(), model_.expert_bytes);
+    ready = DemandFillMiss(key, link, &source);
     CacheEntry fresh;
     fresh.key = key;
     fresh.bytes = model_.expert_bytes;
@@ -340,10 +466,39 @@ bool ServingEngine::TransferTagsConsistent() const {
   return true;
 }
 
+bool ServingEngine::TierBookkeepingConsistent() const {
+  if (!store_.BookkeepingConsistent()) {
+    return false;
+  }
+  if (chains_by_stage_tag_.size() != stage_tag_by_gpu_tag_.size()) {
+    return false;
+  }
+  for (const auto& [stage_tag, chain] : chains_by_stage_tag_) {
+    // Chain maps must be mutual inverses, and every chained GPU tag must still name a live
+    // GPU-cache transfer.
+    const auto it = stage_tag_by_gpu_tag_.find(chain.gpu_tag);
+    if (it == stage_tag_by_gpu_tag_.end() || it->second != stage_tag) {
+      return false;
+    }
+    if (!transfer_key_by_tag_.contains(chain.gpu_tag)) {
+      return false;
+    }
+  }
+  for (const uint64_t tag : direct_tags_) {
+    if (!transfer_key_by_tag_.contains(tag)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 ServingEngine::ExpertJob ServingEngine::IssueExpert(ExpertId id, int tokens_routed) {
   const uint64_t key = KeyOf(id);
   PcieLink& link = LinkFor(key);
   link.Tick(clock_.now());
+  if (store_.enabled()) {
+    store_.Tick(clock_.now());  // Land stagings first: a chained hop may become a plain wait.
+  }
 
   ExpertJob job;
   job.id = id;
@@ -355,7 +510,7 @@ ServingEngine::ExpertJob ServingEngine::IssueExpert(ExpertId id, int tokens_rout
     // Full miss: on-demand load. If the entry cannot be cached (budget smaller than one
     // expert, or everything pinned) the weights are streamed through a transient buffer —
     // the transfer cost is identical either way.
-    job.ready_at = link.DemandLoad(clock_.now(), model_.expert_bytes);
+    job.ready_at = DemandFillMiss(key, link, &job.tier_source);
     CacheEntry fresh;
     fresh.key = key;
     fresh.bytes = model_.expert_bytes;
@@ -373,12 +528,7 @@ ServingEngine::ExpertJob ServingEngine::IssueExpert(ExpertId id, int tokens_rout
   } else if (entry.prefetch_pending()) {
     // Prefetch was enqueued but its transfer never started: promote to a demand load, which
     // jumps ahead of all queued prefetches ("pauses all expert prefetching tasks", §4.5).
-    link.CancelQueuedPrefetch(entry.transfer_tag());
-    transfer_key_by_tag_.erase(entry.transfer_tag());
-    entry.set_transfer_tag(0);
-    job.ready_at = link.DemandLoad(clock_.now(), entry.bytes());
-    entry.set_ready_at(job.ready_at);
-    entry.set_prefetch_pending(false);
+    job.ready_at = PromoteQueuedToDemand(entry, key, link, &job.tier_source);
     if (trace_ != nullptr) {
       job.stall_class = trace_->ClassifyMiss(key, TraceRecorder::MissKind::kQueuedPromoted);
     }
@@ -421,8 +571,13 @@ void ServingEngine::CompleteExpert(const ExpertJob& job) {
   if (trace_ != nullptr) {
     if (!job.hit) {
       // One AttributeStall per served miss, in serve order — the identical addition sequence
-      // as the demand_stall accumulation above, so the totals stay bitwise equal.
+      // as the demand_stall accumulation above, so the totals stay bitwise equal. The tier
+      // attribution partitions the same misses by serving tier (legacy runs: all host-side).
       trace_->AttributeStall(job.stall_class, stall);
+      trace_->AttributeStallTier(job.tier_source == TieredExpertStore::Tier::kNvme
+                                     ? StallTier::kNvme
+                                     : StallTier::kHost,
+                                 stall);
       if (stall > 0.0) {
         trace_->Span(trace_engine_track_, "demand-stall", "stall", stall_start, job.ready_at,
                      {TraceArg::Int("layer", job.id.layer), TraceArg::Int("expert", job.id.expert),
@@ -462,6 +617,21 @@ double ServingEngine::RunIteration(std::vector<BatchMember*>& active) {
   bool all_prefill = true;
   for (const BatchMember* member : active) {
     all_prefill &= member->next_iteration == 0;
+  }
+
+  if (config_.tier.kv_bytes_per_token > 0.0) {
+    // KV-cache pressure: the batch's in-flight tokens reserve GPU bytes, shrinking the
+    // effective expert budget as sequences grow (Table 1). Victims demote like any eviction.
+    double tracked_tokens = 0.0;
+    for (const BatchMember* member : active) {
+      tracked_tokens +=
+          static_cast<double>(member->request.prompt_tokens + member->next_iteration);
+    }
+    const uint64_t reserved =
+        static_cast<uint64_t>(config_.tier.kv_bytes_per_token * tracked_tokens);
+    evicted_scratch_.clear();
+    cache_.SetReservation(reserved, clock_.now(), &evicted_scratch_);
+    CleanupEvicted(evicted_scratch_);
   }
 
   for (BatchMember* member : active) {
@@ -550,6 +720,10 @@ double ServingEngine::RunIteration(std::vector<BatchMember*>& active) {
   }
   ReleasePrefetchPins(-1);
   cache_.DecayFrequencies(config_.frequency_decay);
+  if (store_.enabled()) {
+    store_.DecayHostFrequencies(config_.frequency_decay);
+    store_.Tick(clock_.now());
+  }
   cluster_.Tick(clock_.now());
 
   const double duration = clock_.now() - iteration_start;

@@ -15,9 +15,11 @@
 #include <string>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/cache/expert_cache.h"
+#include "src/cache/tiered_store.h"
 #include "src/memsim/clock.h"
 #include "src/memsim/gpu.h"
 #include "src/moe/cost_model.h"
@@ -52,6 +54,9 @@ struct EngineConfig {
   double matcher_latency_scale = 0.0;
   // Bound on pending deferred jobs; past it the oldest pending job is dropped.
   int matcher_queue_depth = 32;
+  // Multi-tier offload hierarchy (GPU ↔ host pool ↔ NVMe). Disabled by default; the default
+  // TierConfig replays the legacy two-tier path bit-identically (DESIGN.md §5h).
+  TierConfig tier;
   // Optional virtual-time trace recorder (not owned; must outlive the engine). A pure
   // observer: attaching one changes no timing, metrics, or policy decisions (DESIGN.md §5f).
   TraceRecorder* trace = nullptr;
@@ -101,6 +106,7 @@ class ServingEngine : public EngineHandle {
   }
 
   const ExpertCache& cache() const { return cache_; }
+  const TieredExpertStore& store() const { return store_; }
   const GpuCluster& cluster() const { return cluster_; }
   const GateSimulator& gate() const { return gate_; }
   const SemanticEmbedder& embedder() const { return embedder_; }
@@ -114,6 +120,7 @@ class ServingEngine : public EngineHandle {
   void PrefetchAsync(ExpertId id, double probability, double priority) override;
   void PrefetchAsyncSized(ExpertId id, double probability, double priority,
                           double size_fraction) override;
+  void StageToHostAsync(ExpertId id, double probability) override;
   void BlockingLoad(ExpertId id, double probability) override;
   bool IsCached(ExpertId id) const override;
   void SetCachedProbability(ExpertId id, double probability) override;
@@ -129,6 +136,10 @@ class ServingEngine : public EngineHandle {
   const MatcherWorker& matcher() const { return matcher_; }
   // Every queued-transfer tag maps to a resident entry carrying that tag, and vice versa.
   bool TransferTagsConsistent() const;
+  // Chain / direct-path bookkeeping cross-checks for the tiered store (fuzz tests): every
+  // chained prefetch references a live GPU transfer tag, the chain maps are mutual inverses,
+  // and the store's own stage bookkeeping is consistent.
+  bool TierBookkeepingConsistent() const;
 
  private:
   struct BatchMember {
@@ -154,9 +165,18 @@ class ServingEngine : public EngineHandle {
     bool resident = false;
     // Stall cause classified at issue time (tracing only; meaningless for hits).
     StallClass stall_class = StallClass::kNeverPrefetched;
+    // Tier that served a miss's bytes (tracing only; legacy two-tier misses read "host").
+    TieredExpertStore::Tier tier_source = TieredExpertStore::Tier::kHost;
   };
   ExpertJob IssueExpert(ExpertId id, int tokens_routed);
   void CompleteExpert(const ExpertJob& job);
+
+  // Demand-path helpers shared by IssueExpert and BlockingLoad. Legacy two-tier behaviour
+  // (store disabled) is bit-identical to the pre-tiering code; tiered mode routes the fill
+  // through host staging / the NVMe link and reports the serving tier.
+  double DemandFillMiss(uint64_t key, PcieLink& link, TieredExpertStore::Tier* source);
+  double PromoteQueuedToDemand(EntryRef& entry, uint64_t key, PcieLink& link,
+                               TieredExpertStore::Tier* source);
 
   // Completion bookkeeping shared by prefetch start events.
   void OnTransferScheduled(int device, uint64_t tag, double completion_time);
@@ -187,7 +207,8 @@ class ServingEngine : public EngineHandle {
   CostModel cost_;
   GpuCluster cluster_;
   std::unique_ptr<EvictionPolicy> eviction_policy_;
-  ExpertCache cache_;
+  TieredExpertStore store_;
+  ExpertCache& cache_;  // GPU tier of store_; the legacy name every code path uses.
   SimClock clock_;
   RunMetrics metrics_;
   MatcherWorker matcher_;
@@ -206,6 +227,20 @@ class ServingEngine : public EngineHandle {
   uint64_t next_transfer_tag_ = 1;
   // tag -> flat expert key for prefetch-start callbacks.
   std::unordered_map<uint64_t, uint64_t> transfer_key_by_tag_;
+
+  // Tiered-store chain bookkeeping (empty while the store is disabled). A chained prefetch
+  // is a GPU fill whose host→GPU hop waits for an NVMe→host staging transfer: the hop is
+  // enqueued by the stage-scheduled hook once the staging's completion instant is known.
+  struct ChainedPrefetch {
+    uint64_t key = 0;
+    uint64_t gpu_tag = 0;
+    uint64_t bytes = 0;
+  };
+  std::unordered_map<uint64_t, ChainedPrefetch> chains_by_stage_tag_;
+  std::unordered_map<uint64_t, uint64_t> stage_tag_by_gpu_tag_;  // Inverse of the above.
+  // GPU transfer tags riding the explicit NVMe→GPU direct path (their transfers live on the
+  // store's NVMe link, not the device's PCIe link).
+  std::unordered_set<uint64_t> direct_tags_;
   // Prefetched-but-not-yet-used experts are pinned (the runtime holds a reference to the
   // inbound buffer) and released when their target layer completes or the iteration ends.
   // Bucketed by target layer so releases touch only the completed layers' keys; a key appears

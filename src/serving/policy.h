@@ -103,6 +103,15 @@ class EngineHandle {
     PrefetchAsync(id, probability, priority);
   }
 
+  // Speculative NVMe→host staging of a scored-but-not-selected prefetch candidate: the copy
+  // is promoted into the host pool so a later matched prefetch (or demand miss) pays only the
+  // host→GPU hop. Meaningful only on engines running a multi-tier store; the default no-op
+  // keeps two-tier engines, fakes, and baseline policies oblivious to tiers.
+  virtual void StageToHostAsync(ExpertId id, double probability) {
+    (void)id;
+    (void)probability;
+  }
+
   // Synchronously loads an expert, blocking the iteration until the copy completes (models
   // synchronous speculative prefetching). No-op if already resident and ready.
   virtual void BlockingLoad(ExpertId id, double probability) = 0;

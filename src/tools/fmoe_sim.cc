@@ -99,6 +99,24 @@ int main(int argc, char** argv) {
                   "background matcher-worker latency multiplier (0 = instantaneous policy "
                   "decisions, 1 = modeled matcher speed)");
   flags.AddInt("matcher-queue-depth", 32, "pending deferred-job bound (oldest dropped past it)");
+  flags.AddBool("nvme-backing", false,
+                "experts' off-GPU home is NVMe (multi-tier store; DESIGN.md 5h). Off replays "
+                "the legacy two-tier GPU<->host path bit-identically");
+  flags.AddDouble("host-capacity-gb", 0.0,
+                  "host-RAM staging pool budget in GiB (implies --nvme-backing when > 0; 0 "
+                  "with --nvme-backing = two-tier GPU<->NVMe)");
+  flags.AddDouble("nvme-gbps", 3.5, "NVMe link bandwidth in GB/s");
+  flags.AddDouble("nvme-latency-us", 80.0, "NVMe link fixed latency in microseconds");
+  flags.AddBool("direct-nvme-gpu", false,
+                "allow the explicit NVMe->GPU direct path (default: all GPU fills stage "
+                "through host RAM)");
+  flags.AddString("host-policy", "LRU", "host-pool eviction policy: LRU | LFU | fMoE-PriorityLFU");
+  flags.AddDouble("kv-bytes-per-token", 0.0,
+                  "GPU bytes reserved per in-flight token (KV-cache pressure shrinking the "
+                  "effective expert budget; 0 disables)");
+  flags.AddInt("host-stage-candidates", 0,
+               "fMoE-family tier-aware prefetch: top-N scored-but-not-selected map candidates "
+               "staged NVMe->host per matched layer (multi-tier runs only)");
   flags.AddInt("seed", 42, "random seed (all components are deterministic given this)");
   flags.AddInt("jobs", 1,
                "worker threads when running several systems (0 = one per hardware thread); "
@@ -155,6 +173,16 @@ int main(int argc, char** argv) {
   options.matcher_latency_scale = flags.GetDouble("matcher-latency-scale");
   options.matcher_queue_depth = static_cast<int>(flags.GetInt("matcher-queue-depth"));
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const double host_capacity_gb = flags.GetDouble("host-capacity-gb");
+  options.tier.nvme_backing = flags.GetBool("nvme-backing") || host_capacity_gb > 0.0;
+  options.tier.host_capacity_bytes =
+      static_cast<uint64_t>(host_capacity_gb * static_cast<double>(1ULL << 30));
+  options.tier.nvme_link.bandwidth_bytes_per_sec = flags.GetDouble("nvme-gbps") * 1e9;
+  options.tier.nvme_link.fixed_latency_sec = flags.GetDouble("nvme-latency-us") * 1e-6;
+  options.tier.allow_direct_nvme_gpu = flags.GetBool("direct-nvme-gpu");
+  options.tier.host_policy = flags.GetString("host-policy");
+  options.tier.kv_bytes_per_token = flags.GetDouble("kv-bytes-per-token");
+  options.host_stage_candidates = static_cast<int>(flags.GetInt("host-stage-candidates"));
 
   std::vector<std::string> systems;
   if (flags.GetString("system") == "all") {

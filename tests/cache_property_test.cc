@@ -74,7 +74,7 @@ void RunStream(const std::string& policy_name, const StreamOptions& options,
   for (int op = 0; op < options.ops; ++op) {
     now += rng.NextDouble();
     const uint64_t key = rng.NextBounded(96);
-    switch (rng.NextBounded(7)) {
+    switch (rng.NextBounded(8)) {
       case 0: {  // Insert.
         CacheEntry entry;
         entry.key = key;
@@ -144,6 +144,28 @@ void RunStream(const std::string& policy_name, const StreamOptions& options,
         const double factor = options.constant_decay ? 0.6 : 0.5 + 0.5 * rng.NextDouble();
         indexed.DecayFrequencies(factor);
         reference.DecayFrequencies(factor);
+        break;
+      }
+      case 7: {  // KV-pressure reservation (tier knob): shrink or restore effective capacity.
+        const uint64_t reserved = rng.NextBounded(kCapacity / 2 + 1);
+        std::vector<CacheEntry> evicted_indexed;
+        std::vector<CacheEntry> evicted_reference;
+        const bool ok_indexed = indexed.SetReservation(reserved, now, &evicted_indexed);
+        const bool ok_reference = reference.SetReservation(reserved, now, &evicted_reference);
+        ASSERT_EQ(ok_indexed, ok_reference) << "reservation of " << reserved << " at op " << op;
+        ASSERT_EQ(evicted_indexed.size(), evicted_reference.size()) << "op " << op;
+        for (size_t i = 0; i < evicted_indexed.size(); ++i) {
+          // Same victim sequence under pressure eviction as under insert eviction.
+          ExpectEntriesEqual(evicted_indexed[i], evicted_reference[i], "reservation-evicted");
+          pins.erase(evicted_indexed[i].key);
+        }
+        ASSERT_EQ(indexed.reserved_bytes(), reference.reserved_bytes()) << "op " << op;
+        ASSERT_EQ(indexed.effective_capacity_bytes(), reference.effective_capacity_bytes())
+            << "op " << op;
+        if (ok_indexed) {
+          // A successful reservation leaves the resident set within the shrunk budget.
+          ASSERT_LE(indexed.used_bytes(), indexed.effective_capacity_bytes()) << "op " << op;
+        }
         break;
       }
     }

@@ -198,9 +198,12 @@ TEST_P(LinkFuzzTest, ScheduleInvariantsHold) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LinkFuzzTest, ::testing::Values(2u, 33u, 555u, 98765u));
 
 // ---------------------------------------------------------------------------
-// Full-engine invariants under randomized asynchronous-pipeline knobs: whatever the matcher
-// latency scale and queue depth, the cache never overflows, transfer-tag bookkeeping stays
-// consistent, virtual time only moves forward, and the deferred counters balance.
+// Full-engine invariants under randomized asynchronous-pipeline and tier knobs: whatever the
+// matcher latency scale, queue depth, and storage hierarchy (two-tier or three-tier, any host
+// capacity, any NVMe speed, KV pressure on or off), the cache never overflows, transfer-tag
+// and tier bookkeeping stay consistent, virtual time only moves forward, and the deferred
+// counters balance. Random tier knobs deliberately race promotions (host staging chained into
+// GPU fills) against demand promotion and GPU-victim demotion.
 
 class EngineFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
@@ -217,9 +220,18 @@ TEST_P(EngineFuzzTest, RandomAsyncKnobsPreserveEngineInvariants) {
     config.gpu_count = 1 + static_cast<int>(rng.NextBounded(3));
     config.matcher_latency_scale = kScales[rng.NextBounded(5)];
     config.matcher_queue_depth = 1 + static_cast<int>(rng.NextBounded(48));
+    if (rng.NextBool(0.7)) {  // Three-tier hierarchy with randomized tier knobs.
+      config.tier.nvme_backing = true;
+      config.tier.host_capacity_bytes = model.expert_bytes * rng.NextBounded(10);  // 0 = 2-tier.
+      config.tier.nvme_link.bandwidth_bytes_per_sec = 1.0e9 + 1.0e9 * rng.NextDouble() * 8.0;
+      config.tier.nvme_link.fixed_latency_sec = 20e-6 + 200e-6 * rng.NextDouble();
+      config.tier.allow_direct_nvme_gpu = rng.NextBool(0.25);
+      config.tier.kv_bytes_per_token = rng.NextBool(0.5) ? 64.0 * rng.NextDouble() : 0.0;
+    }
 
     FmoeOptions options;
     options.store_capacity = 32;
+    options.host_stage_candidates = static_cast<int>(rng.NextBounded(4));
     FmoePolicy policy(model, config.prefetch_distance, options);
     ServingEngine engine(model, config, &policy);
 
@@ -236,6 +248,12 @@ TEST_P(EngineFuzzTest, RandomAsyncKnobsPreserveEngineInvariants) {
 
       ASSERT_LE(engine.cache().used_bytes(), engine.cache().capacity_bytes());
       ASSERT_TRUE(engine.TransferTagsConsistent());
+      ASSERT_TRUE(engine.TierBookkeepingConsistent());
+      ASSERT_LE(engine.store().host().used_bytes(), engine.store().host().capacity_bytes());
+      if (!config.tier.allow_direct_nvme_gpu) {
+        ASSERT_EQ(engine.store().stats().direct_loads, 0u)
+            << "NVMe->GPU teleport without the direct path configured";
+      }
       ASSERT_GE(engine.now(), last_now);
       last_now = engine.now();
       ASSERT_LE(engine.PendingDeferredJobs(),

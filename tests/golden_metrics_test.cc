@@ -94,6 +94,41 @@ TEST(GoldenMetricsTest, FmoeAsyncPipelineMixtralSmall) {
   CompareOrUpdate("offline_mixtral_async_scale1.json", RenderReport(results));
 }
 
+// A disabled tier config must be invisible (DESIGN.md §5h): explicitly constructing the
+// TierConfig default and asking for tier-aware staging candidates on a two-tier engine has to
+// replay the legacy path bit-identically — same bytes out, no tier block in the report. The
+// two reports are compared against each other, so this holds no matter how the goldens move.
+TEST(GoldenMetricsTest, DisabledTierConfigIsByteIdenticalToLegacy) {
+  std::vector<ExperimentResult> legacy;
+  std::vector<ExperimentResult> disabled_tier;
+  for (const std::string& system : {std::string("fMoE"), std::string("MoE-Infinity")}) {
+    legacy.push_back(RunOffline(system, GoldenOptions()));
+    ExperimentOptions options = GoldenOptions();
+    options.tier = TierConfig{};  // All knobs at their defaults, nvme_backing off.
+    options.host_stage_candidates = 2;  // Must be a no-op without a host tier.
+    disabled_tier.push_back(RunOffline(system, options));
+    EXPECT_FALSE(disabled_tier.back().tier_enabled);
+  }
+  EXPECT_EQ(RenderReport(legacy), RenderReport(disabled_tier));
+}
+
+// Golden-pins the three-tier hierarchy itself: fMoE with NVMe backing and a host staging
+// pool on the same workload as the two-tier goldens. Any drift in staging, promotion,
+// demotion, or the tier report block shows up as a byte-level diff here without touching the
+// legacy goldens above.
+TEST(GoldenMetricsTest, FmoeThreeTierMixtralSmall) {
+  ExperimentOptions options = GoldenOptions();
+  options.tier.nvme_backing = true;
+  options.tier.host_capacity_bytes =
+      static_cast<uint64_t>(0.3 * static_cast<double>(options.model.total_expert_bytes()));
+  options.host_stage_candidates = 2;
+  std::vector<ExperimentResult> results;
+  results.push_back(RunOffline("fMoE", options));
+  ASSERT_TRUE(results.back().tier_enabled);
+  EXPECT_GT(results.back().tier.stages_issued, 0u);
+  CompareOrUpdate("offline_mixtral_three_tier.json", RenderReport(results));
+}
+
 // Quantized map stores are tolerance-checked, never byte-pinned (DESIGN.md §5g): the fp32
 // golden above stays the byte-exact contract, and the fp16/int8 runs of the same workload
 // must land within documented bounds of it — matching accuracy may shift argmax decisions on

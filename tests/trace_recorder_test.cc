@@ -130,12 +130,32 @@ TEST(StallReportTest, RendersEveryClassAndTotal) {
   TraceRecorder recorder;
   recorder.AttributeStall(StallClass::kNeverPrefetched, 0.75);
   recorder.AttributeStall(StallClass::kPrefetchInFlight, 0.25);
+  recorder.AttributeStallTier(StallTier::kHost, 0.75);
+  recorder.AttributeStallTier(StallTier::kNvme, 0.25);
   const std::string report = RenderStallReport(recorder.stall());
   EXPECT_NE(report.find("never-prefetched"), std::string::npos);
   EXPECT_NE(report.find("prefetch-in-flight"), std::string::npos);
   EXPECT_NE(report.find("evicted-before-use"), std::string::npos);
+  EXPECT_NE(report.find("served-from-host"), std::string::npos);
+  EXPECT_NE(report.find("served-from-nvme"), std::string::npos);
   EXPECT_NE(report.find("total"), std::string::npos);
   EXPECT_NE(report.find("75.0%"), std::string::npos);
+}
+
+TEST(StallAttributionTest, TierBucketsPartitionIndependently) {
+  TraceRecorder recorder;
+  recorder.AttributeStall(StallClass::kNeverPrefetched, 0.5);
+  recorder.AttributeStallTier(StallTier::kNvme, 0.5);
+  recorder.AttributeStall(StallClass::kPrefetchInFlight, 0.25);
+  recorder.AttributeStallTier(StallTier::kHost, 0.25);
+  const StallAttribution& stall = recorder.stall();
+  EXPECT_DOUBLE_EQ(stall.tier_seconds[static_cast<size_t>(StallTier::kNvme)], 0.5);
+  EXPECT_DOUBLE_EQ(stall.tier_seconds[static_cast<size_t>(StallTier::kHost)], 0.25);
+  EXPECT_EQ(stall.tier_misses[static_cast<size_t>(StallTier::kNvme)], 1u);
+  EXPECT_EQ(stall.tier_misses[static_cast<size_t>(StallTier::kHost)], 1u);
+  // Both partitions cover the same misses: their sums agree with the serve-order total.
+  EXPECT_DOUBLE_EQ(stall.TierSum(), stall.CategorySum());
+  EXPECT_DOUBLE_EQ(stall.TierSum(), stall.total_seconds);
 }
 
 // --- Exporter schema golden. -----------------------------------------------------------
@@ -148,6 +168,10 @@ TEST(PerfettoExportTest, SchemaMatchesGolden) {
   TraceRecorder recorder;
   const int engine = recorder.RegisterTrack("engine");
   const int link = recorder.RegisterTrack("gpu0/link");
+  // Tier pseudo-threads register strictly after every legacy track (the engine appends them
+  // last), so legacy track ids — and this golden's tid assignments — never shift.
+  const int host = recorder.RegisterTrack("host_pool");
+  const int nvme = recorder.RegisterTrack("nvme/link");
   recorder.Span(engine, "attention", "compute", 0.001, 0.0015,
                 {TraceArg::Int("layer", 0), TraceArg::Int("tokens", 32)});
   recorder.Span(link, "prefetch", "transfer", 0.0012, 0.0030,
@@ -157,8 +181,14 @@ TEST(PerfettoExportTest, SchemaMatchesGolden) {
   // Out-of-order emission: the exporter must stable-sort by start time.
   recorder.Span(engine, "expert", "compute", 0.0005, 0.0009,
                 {TraceArg::Num("prob", 0.375)});
+  recorder.Instant(host, "evicted-to-host", "tier", 0.0025,
+                   {TraceArg::Uint("key", 19), TraceArg::Uint("bytes", 176160768)});
+  recorder.Span(nvme, "prefetch", "transfer", 0.0026, 0.0040,
+                {TraceArg::Uint("bytes", 176160768)});
   recorder.AttributeStall(StallClass::kNeverPrefetched, 0.125);
   recorder.AttributeStall(StallClass::kEvictedBeforeUse, 0.0625);
+  recorder.AttributeStallTier(StallTier::kHost, 0.125);
+  recorder.AttributeStallTier(StallTier::kNvme, 0.0625);
 
   std::ostringstream out;
   WriteChromeTraceJson(recorder, "trace_recorder_test", out);
