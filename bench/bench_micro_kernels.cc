@@ -7,6 +7,8 @@
 #include "src/cache/expert_cache.h"
 #include "src/core/map_store.h"
 #include "src/core/prefetcher.h"
+#include "src/core/shard_router.h"
+#include "src/core/sharded_store.h"
 #include "src/moe/gate_simulator.h"
 #include "src/util/math.h"
 #include "src/util/rng.h"
@@ -185,6 +187,81 @@ void BM_InsertDedupSoA(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_InsertDedupSoA)->Arg(512)->Arg(4096);
+
+// Semantic search through the sharded store. Args: (records, shards). The shards == 1 row is
+// the pure-delegation path (must track BM_SemanticSearchSoA); higher shard counts measure the
+// shard-major scan + reduce overhead at identical total record count.
+void BM_ShardedSemanticSearch(benchmark::State& state) {
+  const ModelConfig model = MixtralConfig();
+  const int embedding_dim = 72;
+  const size_t records = static_cast<size_t>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  ShardedMapStore store(model, records, 3, StoreDedupPolicy::kRedundancy, MapPrecision::kFp32,
+                        shards, kSemanticRouterSeed);
+  Rng rng(7);
+  for (size_t i = 0; i < records; ++i) {
+    store.Insert(RandomRecord(model, rng, embedding_dim));
+  }
+  Rng qrng(11);
+  std::vector<double> query(static_cast<size_t>(embedding_dim));
+  for (double& v : query) {
+    v = qrng.NextGaussian();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.SemanticSearch(query));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ShardedSemanticSearch)
+    ->Args({512, 1})
+    ->Args({512, 4})
+    ->Args({4096, 1})
+    ->Args({4096, 4})
+    ->Args({4096, 8});
+
+// The §5i invalidation contract, measured in flops: insert one record, then advance a live
+// trajectory session by one layer. At shards == 1 every insert bumps the sole generation, so
+// the session rebuilds its cached dots over the WHOLE store before scoring the layer; at
+// shards == S only the routed shard rebuilds (~1/S of the records), and the other shards'
+// cached dots survive. The rebuild_flops counter is the per-(insert+observe) session cost —
+// cross-shard invalidation would show as the S > 1 rows matching the S == 1 row.
+void BM_ShardedSessionInsertInvalidation(benchmark::State& state) {
+  const ModelConfig model = MixtralConfig();
+  const size_t records = 512;
+  const int shards = static_cast<int>(state.range(0));
+  ShardedMapStore store(model, records, 3, StoreDedupPolicy::kRedundancy, MapPrecision::kFp32,
+                        shards, kSemanticRouterSeed);
+  Rng rng(7);
+  for (size_t i = 0; i < records; ++i) {
+    store.Insert(RandomRecord(model, rng, 72));
+  }
+  std::vector<double> probs(static_cast<size_t>(model.experts_per_layer));
+  Rng prng(13);
+  for (double& v : probs) {
+    v = prng.NextDouble();
+  }
+  NormalizeInPlace(probs);
+  ShardedTrajectorySession session(&store);
+  // Warm the session past the rebuild-from-empty cost so the loop measures steady state.
+  session.ObserveLayer(probs);
+  uint64_t rebuild_flops = 0;
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    store.Insert(RandomRecord(model, rng, 72));
+    rebuild_flops += session.ObserveLayer(probs);
+    ++steps;
+    if (session.observed_layers() >= model.num_layers) {
+      state.PauseTiming();
+      session.Reset();
+      session.ObserveLayer(probs);
+      state.ResumeTiming();
+    }
+  }
+  state.counters["rebuild_flops"] = benchmark::Counter(
+      static_cast<double>(rebuild_flops) / static_cast<double>(steps == 0 ? 1 : steps));
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(records));
+}
+BENCHMARK(BM_ShardedSessionInsertInvalidation)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_SelectExperts(benchmark::State& state) {
   Rng rng(19);

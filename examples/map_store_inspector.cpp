@@ -7,6 +7,7 @@
 
 #include "src/core/map_matcher.h"
 #include "src/core/map_store.h"
+#include "src/core/sharded_store.h"
 #include "src/core/prefetcher.h"
 #include "src/moe/embedding.h"
 #include "src/moe/gate_simulator.h"
@@ -18,8 +19,10 @@ int main() {
   const fmoe::SemanticEmbedder embedder(model, /*num_clusters=*/24, fmoe::EmbedderProfile{},
                                         /*seed=*/3);
 
-  // Record iteration 1 of ten requests from three semantic clusters into the store.
-  fmoe::ExpertMapStore store(model, /*capacity=*/8, /*prefetch_distance=*/3);
+  // Record iteration 1 of ten requests from three semantic clusters into the store. A
+  // 1-shard ShardedMapStore (the default) is the unsharded store of §4.1 bit for bit; the
+  // matcher machinery below runs against the sharded interface either way (DESIGN.md §5i).
+  fmoe::ShardedMapStore store(model, /*capacity=*/8, /*prefetch_distance=*/3);
   for (uint64_t id = 0; id < 10; ++id) {
     fmoe::RequestRouting routing;
     routing.cluster = static_cast<int>(id % 3);
@@ -47,7 +50,8 @@ int main() {
   const fmoe::SearchResult semantic =
       store.SemanticSearch(embedder.IterationEmbedding(fresh, 1));
   std::cout << "semantic search: matched stored request "
-            << store.Get(semantic.index).request_id << " with score " << semantic.score << "\n";
+            << store.Get(semantic.shard, semantic.index).request_id << " with score "
+            << semantic.score << "\n";
 
   // Observe the first four layers of the fresh prompt's trajectory and match again.
   fmoe::HybridMatcher matcher(&store, model, /*prefetch_distance=*/3, fmoe::MatcherOptions{});
@@ -60,7 +64,7 @@ int main() {
   // The same search, driven by hand through the incremental engine. The store keeps every map
   // in a layer-major float matrix with precomputed prefix norms, so each ObserveLayer extends
   // one running dot product per record (2·J·N flops) instead of rescanning the whole prefix.
-  fmoe::TrajectorySearchSession session(&store);
+  fmoe::TrajectorySearchSession session(&store.shard(0));
   session.Reset();
   uint64_t incremental_flops = 0;
   uint64_t recomputed_flops = 0;
@@ -72,13 +76,14 @@ int main() {
   fmoe::SearchResult best = session.CurrentBest();
   incremental_flops += best.flops;
   std::cout << "incremental session after " << session.observed_layers()
-            << " layers: matched request " << store.Get(best.index).request_id << " (score "
+            << " layers: matched request " << store.shard(0).Get(best.index).request_id
+            << " (score "
             << best.score << ") for " << incremental_flops
             << " flops; per-layer recomputation would have cost " << recomputed_flops << "\n";
   std::cout << "search index: " << store.size() << " rows x " << store.map_dim()
             << " floats, layer-major; record 0 full-map norm "
-            << store.PrefixNorm(0, model.num_layers) << ", embedding norm "
-            << store.EmbeddingNorm(0) << " (precomputed at insert)\n";
+            << store.shard(0).PrefixNorm(0, model.num_layers) << ", embedding norm "
+            << store.shard(0).EmbeddingNorm(0) << " (precomputed at insert)\n";
 
   // Turn the matched guidance for layer 7 (= 4 + distance 3) into a prefetch plan.
   const fmoe::Guidance guidance = matcher.GuidanceFor(7);

@@ -94,6 +94,12 @@ int main(int argc, char** argv) {
   // Model the background matcher worker (§4.3) so its track carries match-job spans; at the
   // default scale of 0 decisions are instantaneous and the matcher timeline is empty.
   options.matcher_latency_scale = 1.0;
+  // Run the three-tier store (§5h) so the host_pool and nvme/link pseudo-threads show up in
+  // the track table and timeline: expert misses ride NVMe -> host RAM -> GPU, and the fMoE
+  // policy speculatively stages its runner-up map candidates into the host pool.
+  options.tier.nvme_backing = true;
+  options.tier.host_capacity_bytes = static_cast<uint64_t>(0.05 * 1024 * 1024 * 1024);
+  options.host_stage_candidates = 2;
 
   fmoe::TraceRecorder recorder;
   options.trace = &recorder;

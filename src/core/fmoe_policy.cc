@@ -1,5 +1,6 @@
 #include "src/core/fmoe_policy.h"
 
+#include "src/obs/trace_recorder.h"
 #include "src/util/logging.h"
 
 namespace fmoe {
@@ -10,7 +11,7 @@ FmoePolicy::FmoePolicy(const ModelConfig& model, int prefetch_distance,
       prefetch_distance_(prefetch_distance),
       options_(options),
       store_(model, options.store_capacity, prefetch_distance, options.store_dedup,
-             options.map_precision) {
+             options.map_precision, options.map_shards, kSemanticRouterSeed) {
   store_.set_search_threads(options.search_threads);
 }
 
@@ -187,7 +188,23 @@ void FmoePolicy::OnIterationEnd(EngineHandle& engine, const IterationContext& co
   record.iteration = context.iteration;
   // The store mutates immediately (matcher state cannot diverge across latency scales); the
   // published job carries the update's modeled cost, occupying the background worker.
+  const int target_shard = store_.RouteEmbedding(record.embedding);
   const uint64_t flops = store_.Insert(std::move(record));
+  // Per-shard pseudo-threads (§5i): only sharded stores register tracks, so default-run
+  // (1-shard) traces keep the exact track table the §5f goldens pin.
+  if (TraceRecorder* trace = engine.trace(); trace != nullptr && store_.num_shards() > 1) {
+    if (shard_tracks_.empty()) {
+      shard_tracks_.reserve(static_cast<size_t>(store_.num_shards()));
+      for (int s = 0; s < store_.num_shards(); ++s) {
+        shard_tracks_.push_back(trace->RegisterTrack("store/shard" + std::to_string(s)));
+      }
+    }
+    const int track = shard_tracks_[static_cast<size_t>(target_shard)];
+    trace->Instant(track, "store-insert", "store", engine.now(),
+                   {TraceArg::Uint("generation", store_.generation(target_shard))});
+    trace->Counter(track, "store.shard" + std::to_string(target_shard) + ".size",
+                   engine.now(), static_cast<double>(store_.shard(target_shard).size()));
+  }
   const double cost =
       static_cast<double>(flops) / options_.search_throughput_flops;
   if (!options_.publish_deferred) {

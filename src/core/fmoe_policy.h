@@ -22,6 +22,7 @@
 #include "src/core/map_matcher.h"
 #include "src/core/map_store.h"
 #include "src/core/prefetcher.h"
+#include "src/core/sharded_store.h"
 #include "src/serving/policy.h"
 
 namespace fmoe {
@@ -57,6 +58,11 @@ struct FmoeOptions {
   // candidates per matched layer are speculatively staged NVMe→host, so a later match (or a
   // demand miss) pays only the host→GPU hop. 0 disables; two-tier engines no-op regardless.
   int host_stage_candidates = 0;
+  // Semantic-cluster shards of the map store (DESIGN.md §5i): the capacity splits across
+  // shards keyed by a consistent hash of the record embedding, each with its own generation,
+  // so an insert into one cluster no longer invalidates sessions scanning the others. 1
+  // (default) replays the monolithic store bitwise.
+  int map_shards = 1;
   std::string variant_name = "fMoE";
 };
 
@@ -74,8 +80,8 @@ class FmoePolicy : public OffloadPolicy {
                       const std::vector<std::vector<double>>& layer_probs) override;
   void Reset() override;
 
-  const ExpertMapStore& store() const { return store_; }
-  ExpertMapStore& mutable_store() { return store_; }
+  const ShardedMapStore& store() const { return store_; }
+  ShardedMapStore& mutable_store() { return store_; }
 
   // Mean similarity scores observed since construction/Reset (Fig. 14a).
   double MeanSemanticScore() const;
@@ -128,8 +134,11 @@ class FmoePolicy : public OffloadPolicy {
   ModelConfig model_;
   int prefetch_distance_;
   FmoeOptions options_;
-  ExpertMapStore store_;
+  ShardedMapStore store_;
   std::vector<std::unique_ptr<HybridMatcher>> matchers_;  // One per batch slot.
+  // Per-shard trace tracks ("store/shardK"), registered lazily on the first traced insert.
+  // Only sharded stores (map_shards > 1) register tracks, so default-run traces are unchanged.
+  std::vector<int> shard_tracks_;
 
   double semantic_score_sum_ = 0.0;
   uint64_t semantic_score_count_ = 0;

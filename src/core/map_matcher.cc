@@ -4,7 +4,7 @@
 
 namespace fmoe {
 
-HybridMatcher::HybridMatcher(const ExpertMapStore* store, const ModelConfig& model,
+HybridMatcher::HybridMatcher(const ShardedMapStore* store, const ModelConfig& model,
                              int prefetch_distance, const MatcherOptions& options)
     : store_(store),
       model_(model),
@@ -68,7 +68,7 @@ Guidance HybridMatcher::GuidanceFor(int target_layer) const {
   if (source == nullptr) {
     return guidance;
   }
-  const StoredIteration& record = store_->Get(source->index);
+  const StoredIteration& record = store_->Get(source->shard, source->index);
   const std::span<const double> probs = record.map.Layer(target_layer);
   guidance.valid = true;
   guidance.score = source->score;

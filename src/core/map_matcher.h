@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/map_store.h"
+#include "src/core/sharded_store.h"
 
 namespace fmoe {
 
@@ -34,7 +35,7 @@ struct Guidance {
 
 class HybridMatcher {
  public:
-  HybridMatcher(const ExpertMapStore* store, const ModelConfig& model, int prefetch_distance,
+  HybridMatcher(const ShardedMapStore* store, const ModelConfig& model, int prefetch_distance,
                 const MatcherOptions& options);
 
   // Starts a new iteration: runs the semantic search against `embedding`.
@@ -58,14 +59,14 @@ class HybridMatcher {
   uint64_t ConsumeSearchFlops();
 
  private:
-  const ExpertMapStore* store_;  // Not owned.
+  const ShardedMapStore* store_;  // Not owned.
   ModelConfig model_;
   int prefetch_distance_;
   MatcherOptions options_;
 
   SearchResult semantic_;
   SearchResult trajectory_;
-  TrajectorySearchSession session_;  // Incremental trajectory state of this iteration.
+  ShardedTrajectorySession session_;  // Incremental trajectory state, one dot cache per shard.
   int observed_layers_ = 0;
   int last_match_prefix_ = 0;
   uint64_t pending_flops_ = 0;

@@ -2,17 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "src/util/logging.h"
 #include "src/util/math.h"
+#include "src/util/thread_pool.h"
 
 namespace fmoe {
 namespace {
 
 // Partitions [0, count) into contiguous chunks and runs `fn(begin, end)` on each, using up to
-// `threads` std::threads. Chunks are fixed by count/threads alone, and callers reduce the
-// per-row outputs in row order afterwards, so the result is independent of scheduling.
+// `threads` workers of the process-wide scan pool (the calling thread contributes one chunk).
+// Chunks are fixed by count/threads alone, and callers reduce the per-row outputs in row
+// order afterwards, so the result is independent of scheduling — and identical to the old
+// per-call std::thread spawning this replaced, minus the thread create/join per scan.
 template <typename Fn>
 void RunPartitioned(size_t count, int threads, Fn&& fn) {
   constexpr size_t kMinRowsPerThread = 512;
@@ -22,17 +24,8 @@ void RunPartitioned(size_t count, int threads, Fn&& fn) {
     fn(size_t{0}, count);
     return;
   }
-  const size_t chunk = (count + workers - 1) / workers;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    const size_t begin = w * chunk;
-    const size_t end = std::min(count, begin + chunk);
-    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
-  }
-  for (std::thread& t : pool) {
-    t.join();
-  }
+  SharedScanPool().RunChunks(count, workers,
+                             [&fn](size_t begin, size_t end) { fn(begin, end); });
 }
 
 void UpdateBest(SearchResult* best, size_t index, double score) {

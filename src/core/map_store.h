@@ -99,7 +99,8 @@ bool ParseMapPrecision(std::string_view text, MapPrecision* out);
 
 struct SearchResult {
   bool found = false;
-  size_t index = 0;
+  size_t index = 0;     // Index within the owning shard (== global index for 1-shard stores).
+  int shard = 0;        // Shard the record lives in (always 0 for a bare ExpertMapStore).
   double score = 0.0;   // Cosine similarity in [-1, 1].
   uint64_t flops = 0;   // Work the search performed (feeds the async-overhead model).
 };

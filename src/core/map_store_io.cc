@@ -18,6 +18,10 @@ namespace {
 // different magic and refuses the file).
 constexpr char kMagic[8] = {'F', 'M', 'O', 'E', 'S', 'T', 'R', '1'};
 
+// Multi-shard wrapper format: this magic, a uint32 shard count, then one legacy single-store
+// blob per shard. 1-shard stores write the legacy format directly (byte-identical).
+constexpr char kShardMagic[8] = {'F', 'M', 'O', 'E', 'S', 'H', 'R', 'D'};
+
 // `map_precision` holds the MapPrecision code of the map payload (fp32 = 0, fp16 = 1,
 // int8 = 2). The field was a zero-initialized `reserved` slot before quantized stores
 // existed, so fp32 files are byte-identical to the original format and old files load as
@@ -195,7 +199,10 @@ StoreIoResult SaveStore(const ExpertMapStore& store, std::ostream& out) {
   return result;
 }
 
-StoreIoResult LoadStore(std::istream& in, ExpertMapStore* store) {
+// Parses one legacy single-store stream into `staged` (no inserts). Shared by the plain and
+// sharded loaders, which differ only in where the decoded records are re-inserted.
+static StoreIoResult ParseStoreStream(std::istream& in, const ModelConfig& model,
+                                      std::vector<StoredIteration>* staged) {
   StoreHeader header;
   if (!ReadPod(in, &header)) {
     return StoreIoResult::Failure("failed to read header");
@@ -208,7 +215,6 @@ StoreIoResult LoadStore(std::istream& in, ExpertMapStore* store) {
                                   std::to_string(header.map_precision));
   }
   const MapPrecision file_precision = static_cast<MapPrecision>(header.map_precision);
-  const ModelConfig& model = store->model();
   if (header.num_layers != static_cast<uint32_t>(model.num_layers) ||
       header.experts_per_layer != static_cast<uint32_t>(model.experts_per_layer)) {
     std::ostringstream message;
@@ -236,11 +242,10 @@ StoreIoResult LoadStore(std::istream& in, ExpertMapStore* store) {
     offsets.assign(table.begin(), table.end());
     result.bytes += 2 * map_size * sizeof(float);
   }
-  // Parse into a staging buffer first so a truncated file leaves the store untouched. Records
-  // decode to exact doubles and re-insert through the normal path, so the destination store's
-  // own precision — which may differ from the file's — re-quantizes as needed.
-  std::vector<StoredIteration> staged;
-  staged.reserve(static_cast<size_t>(header.record_count));
+  // Parse into the staging buffer first so a truncated file leaves the store untouched.
+  // Records decode to exact doubles and re-insert through the normal path, so the destination
+  // store's own precision — which may differ from the file's — re-quantizes as needed.
+  staged->reserve(staged->size() + static_cast<size_t>(header.record_count));
   for (uint64_t i = 0; i < header.record_count; ++i) {
     uint64_t request_id = 0;
     int32_t iteration = 0;
@@ -266,13 +271,94 @@ StoreIoResult LoadStore(std::istream& in, ExpertMapStore* store) {
     result.bytes += sizeof(request_id) + sizeof(iteration) +
                     map_size * MapValueBytes(file_precision) +
                     header.embedding_dim * sizeof(float);
-    staged.push_back(std::move(record));
+    staged->push_back(std::move(record));
+  }
+  return result;
+}
+
+StoreIoResult LoadStore(std::istream& in, ExpertMapStore* store) {
+  std::vector<StoredIteration> staged;
+  StoreIoResult result = ParseStoreStream(in, store->model(), &staged);
+  if (!result.ok) {
+    return result;
   }
   for (StoredIteration& record : staged) {
     store->Insert(std::move(record));
     ++result.records;
   }
   return result;
+}
+
+StoreIoResult SaveStore(const ShardedMapStore& store, std::ostream& out) {
+  if (store.num_shards() == 1) {
+    return SaveStore(store.shard(0), out);  // Legacy format, byte-identical.
+  }
+  if (!out.write(kShardMagic, sizeof(kShardMagic))) {
+    return StoreIoResult::Failure("failed to write shard magic");
+  }
+  const uint32_t shard_count = static_cast<uint32_t>(store.num_shards());
+  if (!WritePod(out, shard_count)) {
+    return StoreIoResult::Failure("failed to write shard count");
+  }
+  StoreIoResult total;
+  total.bytes = sizeof(kShardMagic) + sizeof(shard_count);
+  for (int s = 0; s < store.num_shards(); ++s) {
+    const StoreIoResult blob = SaveStore(store.shard(s), out);
+    if (!blob.ok) {
+      return blob;
+    }
+    total.records += blob.records;
+    total.bytes += blob.bytes;
+  }
+  return total;
+}
+
+StoreIoResult LoadStore(std::istream& in, ShardedMapStore* store) {
+  const std::istream::pos_type start = in.tellg();
+  char magic[sizeof(kShardMagic)];
+  if (!in.read(magic, sizeof(magic))) {
+    return StoreIoResult::Failure("failed to read magic");
+  }
+  StoreIoResult total;
+  if (std::memcmp(magic, kShardMagic, sizeof(magic)) == 0) {
+    uint32_t shard_count = 0;
+    if (!ReadPod(in, &shard_count)) {
+      return StoreIoResult::Failure("truncated shard count");
+    }
+    total.bytes = sizeof(magic) + sizeof(shard_count);
+    // Each blob's records re-insert through the destination's semantic routing, so the file's
+    // shard count and the store's need not match — resharding happens on load.
+    for (uint32_t s = 0; s < shard_count; ++s) {
+      std::vector<StoredIteration> staged;
+      const StoreIoResult blob = ParseStoreStream(in, store->model(), &staged);
+      if (!blob.ok) {
+        return blob;
+      }
+      for (StoredIteration& record : staged) {
+        store->Insert(std::move(record));
+        ++total.records;
+      }
+      total.bytes += blob.bytes;
+    }
+    return total;
+  }
+  // Legacy single-store file: rewind and parse it whole (ParseStoreStream re-validates the
+  // legacy magic), then insert through routing.
+  in.clear();
+  in.seekg(start);
+  if (!in) {
+    return StoreIoResult::Failure("stream does not support rewinding");
+  }
+  std::vector<StoredIteration> staged;
+  total = ParseStoreStream(in, store->model(), &staged);
+  if (!total.ok) {
+    return total;
+  }
+  for (StoredIteration& record : staged) {
+    store->Insert(std::move(record));
+    ++total.records;
+  }
+  return total;
 }
 
 StoreIoResult SaveStoreToFile(const ExpertMapStore& store, const std::string& path) {
@@ -284,6 +370,22 @@ StoreIoResult SaveStoreToFile(const ExpertMapStore& store, const std::string& pa
 }
 
 StoreIoResult LoadStoreFromFile(const std::string& path, ExpertMapStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return StoreIoResult::Failure("cannot open " + path + " for reading");
+  }
+  return LoadStore(in, store);
+}
+
+StoreIoResult SaveStoreToFile(const ShardedMapStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return StoreIoResult::Failure("cannot open " + path + " for writing");
+  }
+  return SaveStore(store, out);
+}
+
+StoreIoResult LoadStoreFromFile(const std::string& path, ShardedMapStore* store) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return StoreIoResult::Failure("cannot open " + path + " for reading");

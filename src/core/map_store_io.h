@@ -21,6 +21,7 @@
 #include <string>
 
 #include "src/core/map_store.h"
+#include "src/core/sharded_store.h"
 
 namespace fmoe {
 
@@ -47,9 +48,19 @@ StoreIoResult SaveStore(const ExpertMapStore& store, std::ostream& out);
 // same model shape; capacity may differ — excess records go through normal replacement).
 StoreIoResult LoadStore(std::istream& in, ExpertMapStore* store);
 
+// Sharded-store persistence (DESIGN.md §5i). A 1-shard store writes the legacy single-store
+// format byte-identically; a multi-shard store writes a small wrapper header (shard count)
+// followed by one legacy blob per shard. Loading accepts either format into any shard count:
+// records always decode to exact doubles and re-insert through the destination's semantic
+// routing, so a file saved at S shards reloads correctly into S' shards.
+StoreIoResult SaveStore(const ShardedMapStore& store, std::ostream& out);
+StoreIoResult LoadStore(std::istream& in, ShardedMapStore* store);
+
 // File-path conveniences.
 StoreIoResult SaveStoreToFile(const ExpertMapStore& store, const std::string& path);
 StoreIoResult LoadStoreFromFile(const std::string& path, ExpertMapStore* store);
+StoreIoResult SaveStoreToFile(const ShardedMapStore& store, const std::string& path);
+StoreIoResult LoadStoreFromFile(const std::string& path, ShardedMapStore* store);
 
 }  // namespace fmoe
 

@@ -1,0 +1,75 @@
+// Semantic consistent-hash routing over the map-embedding space (DESIGN.md §5i).
+//
+// The Expert Map Store shards by semantic cluster, and the cluster layer steers requests to
+// engine replicas by the same key, so both need one deterministic function
+//   embedding ∈ R^d  →  target ∈ [0, targets)
+// with two properties:
+//   * Locality — embeddings that are semantically close (high cosine) land on the same target
+//     with high probability, so one cluster's records concentrate in one shard and one
+//     replica's map store sees mostly its own clusters. We get this from an LSH signature:
+//     `kPlanes` random hyperplanes through the origin, each contributing one sign bit of
+//     sign(<embedding, normal_p>). Random-hyperplane LSH preserves angular similarity:
+//     P[bit differs] = angle / π.
+//   * Stability under resizing — growing the target count must not reshuffle every key
+//     (replica counts change between experiments; store files reload into different shard
+//     counts). We get this from a consistent-hash ring: each target owns `kVirtualNodes`
+//     points on a 64-bit ring, and a signature routes to the owner of the first point at or
+//     after hash(signature). Adding a target only claims keys adjacent to its new points.
+//
+// Everything is derived from the constructor seed via SplitMix64, so routing is a pure
+// function of (seed, targets, embedding) — independent of process, platform, and call order.
+// Hyperplane normals are generated per dimension index on demand, so one router instance
+// handles embeddings of any dimensionality (the store accepts mixed-dim records).
+#ifndef FMOE_SRC_CORE_SHARD_ROUTER_H_
+#define FMOE_SRC_CORE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fmoe {
+
+// Canonical router seed. The policy's store shards and the cluster layer's semantic-affinity
+// request router must hash with the same hyperplanes, so that requests routed to a replica by
+// affinity actually find their clusters' records concentrated in that replica's store.
+inline constexpr uint64_t kSemanticRouterSeed = 0xf30e5eedULL;
+
+class SemanticShardRouter {
+ public:
+  // Routes onto `targets` >= 1 targets. `seed` fixes the hyperplanes and the ring layout.
+  SemanticShardRouter(int targets, uint64_t seed);
+
+  int targets() const { return targets_; }
+
+  // LSH sign-bit signature of `embedding` (kPlanes bits). Close embeddings agree on most
+  // bits; the all-zero embedding signs every plane the same way and is therefore stable too.
+  uint64_t Signature(std::span<const double> embedding) const;
+
+  // Target in [0, targets) for `embedding`: ring lookup of Signature(). Deterministic.
+  int Route(std::span<const double> embedding) const;
+
+  // Ring lookup for a precomputed signature (lets callers reuse one signature across
+  // ring sizes, e.g. when re-routing a store file into a different shard count).
+  int RouteSignature(uint64_t signature) const;
+
+  static constexpr int kPlanes = 16;
+  static constexpr int kVirtualNodes = 32;
+
+ private:
+  // Component `dim` of hyperplane `plane`'s normal: a deterministic standard-normal-ish value
+  // derived from (seed_, plane, dim) alone — no stored matrix, any dimensionality.
+  double PlaneComponent(int plane, size_t dim) const;
+
+  int targets_;
+  uint64_t seed_;
+  // Ring points sorted by position; each carries the owning target.
+  struct RingPoint {
+    uint64_t position;
+    int target;
+  };
+  std::vector<RingPoint> ring_;
+};
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_CORE_SHARD_ROUTER_H_

@@ -1,7 +1,9 @@
 #include "src/harness/experiment.h"
 
 #include <algorithm>
+#include <memory>
 #include <span>
+#include <string>
 
 #include "src/serving/engine.h"
 #include "src/util/logging.h"
@@ -40,7 +42,8 @@ EngineConfig MakeEngineConfig(const ExperimentOptions& options, const SystemSpec
 SystemSpec MakeSystemFor(const std::string& system_name, const ExperimentOptions& options) {
   return MakeSystem(system_name, options.model, options.prefetch_distance,
                     options.store_capacity, options.low_precision_threshold,
-                    options.map_precision, options.host_stage_candidates);
+                    options.map_precision, options.host_stage_candidates,
+                    options.map_shards);
 }
 
 void FillResult(const std::string& system_name, const ExperimentOptions& options,
@@ -158,6 +161,187 @@ ExperimentResult RunScheduled(const std::string& system_name, const ExperimentOp
   }
   result.mean_e2e =
       completed.empty() ? 0.0 : e2e_sum / static_cast<double>(completed.size());
+  return result;
+}
+
+ExperimentResult RunCluster(const std::string& system_name, const ExperimentOptions& options,
+                            const TraceProfile& trace, size_t request_count) {
+  TraceGenerator generator(trace, ApplyCaps(options.dataset, options), options.seed);
+  const std::vector<Request> requests = generator.Generate(request_count);
+
+  const int replicas = std::max(options.replicas, 1);
+  if (replicas == 1) {
+    // Single replica: serve exactly as RunOnline would (same engine, same loop), so the
+    // default configuration replays today's behaviour bit for bit.
+    SystemSpec spec = MakeSystemFor(system_name, options);
+    ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
+    for (const Request& request : requests) {
+      engine.ServeRequest(request);
+    }
+    ExperimentResult result;
+    FillResult(system_name, options, engine, spec, &result);
+    result.cluster.replicas = 1;
+    result.cluster.router = options.router_policy;
+    result.cluster.memory = options.cluster_memory;
+    ClusterReplicaStats stats;
+    stats.requests = requests.size();
+    stats.iterations = result.iterations;
+    stats.mean_e2e = result.mean_e2e;
+    stats.hit_rate = result.hit_rate;
+    stats.busy_until = engine.now();
+    result.cluster.makespan = engine.now();
+    result.cluster.aggregate_throughput_rps =
+        engine.now() > 0.0 ? static_cast<double>(requests.size()) / engine.now() : 0.0;
+    result.cluster.replica_stats.push_back(stats);
+    return result;
+  }
+
+  ClusterOptions cluster_options;
+  cluster_options.replicas = replicas;
+  cluster_options.router = options.router_policy;
+  cluster_options.memory = options.cluster_memory;
+
+  std::vector<SystemSpec> specs;
+  std::vector<std::unique_ptr<ServingEngine>> engines;
+  specs.reserve(static_cast<size_t>(replicas));
+  engines.reserve(static_cast<size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    specs.push_back(MakeSystemFor(system_name, options));
+    EngineConfig config = MakeEngineConfig(options, specs.back());
+    // Traces attach to replica 0 only (one timeline per recorder); its tracks carry the
+    // replica prefix so cluster traces are distinguishable from single-engine ones.
+    config.trace_track_prefix = "replica" + std::to_string(r) + "/";
+    if (r > 0) {
+      config.trace = nullptr;
+    }
+    if (options.cluster_memory == ClusterMemoryMode::kPartition && !specs.back().preload_all) {
+      config.expert_cache_bytes =
+          std::max<uint64_t>(config.expert_cache_bytes / static_cast<uint64_t>(replicas), 1);
+    }
+    engines.push_back(std::make_unique<ServingEngine>(options.model, config,
+                                                      specs.back().policy.get()));
+  }
+
+  RequestRouter router(cluster_options, options.seed ^ kSemanticRouterSeed);
+  std::vector<ReplicaLoad> loads(static_cast<size_t>(replicas));
+  std::vector<int> assignment(requests.size(), 0);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    std::vector<double> prompt_embedding;
+    if (options.router_policy == RouterPolicy::kSemanticAffinity) {
+      prompt_embedding = engines[0]->embedder().PromptEmbedding(requests[i].routing);
+    }
+    const int r = router.Route(requests[i], prompt_embedding, loads);
+    assignment[i] = r;
+    engines[static_cast<size_t>(r)]->ServeRequest(requests[i]);
+    loads[static_cast<size_t>(r)].busy_until = engines[static_cast<size_t>(r)]->now();
+    ++loads[static_cast<size_t>(r)].assigned;
+  }
+
+  // Merge: arrival-order latencies (walk the assignment with per-replica cursors — each
+  // replica served its subset in arrival order), counter sums, and count-weighted means.
+  ExperimentResult result;
+  result.system = system_name;
+  result.cluster_enabled = true;
+  result.cluster.replicas = replicas;
+  result.cluster.router = options.router_policy;
+  result.cluster.memory = options.cluster_memory;
+
+  std::vector<std::vector<double>> replica_latencies;
+  std::vector<size_t> cursor(static_cast<size_t>(replicas), 0);
+  double ttft_weighted = 0.0;
+  double tpot_weighted = 0.0;
+  double e2e_sum = 0.0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t low_precision_hits = 0;
+  size_t total_requests = 0;
+  uint64_t total_iterations = 0;
+  double semantic_weighted = 0.0;
+  double trajectory_weighted = 0.0;
+  double low_precision_weighted = 0.0;
+  double cache_capacity_gb = 0.0;
+  double cache_used_gb = 0.0;
+  for (int r = 0; r < replicas; ++r) {
+    const ServingEngine& engine = *engines[static_cast<size_t>(r)];
+    const RunMetrics& metrics = engine.metrics();
+    replica_latencies.push_back(metrics.EndToEndLatencies());
+    const size_t served = metrics.requests().size();
+    ttft_weighted += metrics.MeanTtft() * static_cast<double>(served);
+    tpot_weighted += metrics.MeanTpot() * static_cast<double>(metrics.iterations());
+    for (const double latency : replica_latencies.back()) {
+      e2e_sum += latency;
+    }
+    hits += metrics.expert_hits();
+    misses += metrics.expert_misses();
+    low_precision_hits += metrics.low_precision_hits();
+    total_requests += served;
+    total_iterations += metrics.iterations();
+    result.breakdown.Accumulate(metrics.breakdown());
+    const DeferredPipelineStats& deferred = metrics.deferred();
+    result.deferred.published += deferred.published;
+    result.deferred.applied += deferred.applied;
+    result.deferred.superseded += deferred.superseded;
+    result.deferred.dropped += deferred.dropped;
+    result.deferred.blocking += deferred.blocking;
+    result.deferred.modeled_work_s += deferred.modeled_work_s;
+    result.deferred.overlapped_s += deferred.overlapped_s;
+    result.deferred.wasted_work_s += deferred.wasted_work_s;
+    result.deferred.queue_wait_s += deferred.queue_wait_s;
+    result.deferred.decision_latency_s += deferred.decision_latency_s;
+    cache_capacity_gb += static_cast<double>(engine.cache().capacity_bytes()) / kGiB;
+    cache_used_gb += static_cast<double>(engine.cache().used_bytes()) / kGiB;
+    if (const auto* fmoe_policy =
+            dynamic_cast<const FmoePolicy*>(specs[static_cast<size_t>(r)].policy.get())) {
+      semantic_weighted +=
+          fmoe_policy->MeanSemanticScore() * static_cast<double>(metrics.iterations());
+      trajectory_weighted +=
+          fmoe_policy->MeanTrajectoryScore() * static_cast<double>(metrics.iterations());
+    }
+    low_precision_weighted += metrics.LowPrecisionShare() *
+                              static_cast<double>(metrics.expert_hits() +
+                                                  metrics.expert_misses());
+
+    ClusterReplicaStats stats;
+    stats.replica = r;
+    stats.requests = served;
+    stats.iterations = metrics.iterations();
+    stats.mean_e2e = metrics.MeanEndToEnd();
+    stats.hit_rate = metrics.HitRate();
+    stats.busy_until = engine.now();
+    result.cluster.makespan = std::max(result.cluster.makespan, engine.now());
+    result.cluster.replica_stats.push_back(stats);
+  }
+  result.request_latencies.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const auto r = static_cast<size_t>(assignment[i]);
+    FMOE_CHECK(cursor[r] < replica_latencies[r].size());
+    result.request_latencies.push_back(replica_latencies[r][cursor[r]++]);
+  }
+  result.mean_ttft =
+      total_requests == 0 ? 0.0 : ttft_weighted / static_cast<double>(total_requests);
+  result.mean_tpot =
+      total_iterations == 0 ? 0.0 : tpot_weighted / static_cast<double>(total_iterations);
+  result.mean_e2e =
+      total_requests == 0 ? 0.0 : e2e_sum / static_cast<double>(total_requests);
+  const uint64_t servings = hits + misses;
+  result.hit_rate =
+      servings == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(servings);
+  result.low_precision_share =
+      servings == 0 ? 0.0
+                    : low_precision_weighted / static_cast<double>(servings);
+  result.iterations = total_iterations;
+  result.cache_capacity_gb = cache_capacity_gb;
+  result.cache_used_gb = cache_used_gb;
+  result.mean_semantic_score =
+      total_iterations == 0 ? 0.0
+                            : semantic_weighted / static_cast<double>(total_iterations);
+  result.mean_trajectory_score =
+      total_iterations == 0 ? 0.0
+                            : trajectory_weighted / static_cast<double>(total_iterations);
+  result.cluster.aggregate_throughput_rps =
+      result.cluster.makespan > 0.0
+          ? static_cast<double>(total_requests) / result.cluster.makespan
+          : 0.0;
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "src/memsim/gpu.h"
 #include "src/moe/cost_model.h"
 #include "src/moe/gate_simulator.h"
+#include "src/serving/cluster.h"
 #include "src/serving/metrics.h"
 #include "src/serving/scheduler.h"
 #include "src/serving/trace.h"
@@ -60,6 +61,14 @@ struct ExperimentOptions {
   // fMoE-family tier-aware prefetch: top-N scored-but-not-selected map candidates staged
   // NVMe→host per matched layer. No-op unless tier.nvme_backing is on.
   int host_stage_candidates = 0;
+  // Semantic-cluster shard count for the fMoE Expert Map Store (DESIGN.md §5i). 1 replays
+  // the unsharded store byte-identically.
+  int map_shards = 1;
+  // Cluster knobs (RunCluster only; ignored by the single-engine runners). replicas = 1
+  // replays RunOnline byte-identically regardless of router/memory settings.
+  int replicas = 1;
+  RouterPolicy router_policy = RouterPolicy::kRoundRobin;
+  ClusterMemoryMode cluster_memory = ClusterMemoryMode::kReplicate;
   GateProfile gate;
   HardwareProfile hardware;
   // Optional virtual-time trace recorder (not owned; must outlive the run). Pure observer:
@@ -95,6 +104,11 @@ struct ExperimentResult {
   TierStats tier;
   double host_capacity_gb = 0.0;
   double host_used_gb = 0.0;
+  // Cluster runs only (RunCluster with replicas > 1): per-replica stats and the aggregate
+  // makespan/throughput summary. cluster_enabled is false on single-replica runs (the
+  // report omits the block and the result is byte-identical to RunOnline).
+  bool cluster_enabled = false;
+  ClusterSummary cluster;
 };
 
 ExperimentResult RunOffline(const std::string& system_name, const ExperimentOptions& options);
@@ -109,6 +123,13 @@ ExperimentResult RunOnline(const std::string& system_name, const ExperimentOptio
 ExperimentResult RunScheduled(const std::string& system_name, const ExperimentOptions& options,
                               const TraceProfile& trace, size_t request_count,
                               const SchedulerOptions& sched);
+
+// Multi-replica cluster protocol (DESIGN.md §5i): the trace's requests are routed across
+// `options.replicas` independent engines by `options.router_policy` and served in arrival
+// order. Per-request latencies are reported in arrival order (merged across replicas).
+// With replicas == 1 this is RunOnline, bit for bit.
+ExperimentResult RunCluster(const std::string& system_name, const ExperimentOptions& options,
+                            const TraceProfile& trace, size_t request_count);
 
 // Replay protocol: serves a caller-supplied request sequence (e.g. loaded from a trace CSV)
 // in order on one engine, cold-started like RunOnline.

@@ -56,6 +56,19 @@ size_t ExperimentPlan::AddScheduled(std::string system, ExperimentOptions option
   return Add(std::move(task));
 }
 
+size_t ExperimentPlan::AddCluster(std::string system, ExperimentOptions options,
+                                  TraceProfile trace, size_t request_count,
+                                  std::vector<std::string> tags) {
+  ExperimentTask task;
+  task.system = std::move(system);
+  task.options = std::move(options);
+  task.mode = ExperimentMode::kCluster;
+  task.trace = trace;
+  task.request_count = request_count;
+  task.tags = std::move(tags);
+  return Add(std::move(task));
+}
+
 std::vector<size_t> ExperimentPlan::IndicesWithTag(const std::string& tag) const {
   std::vector<size_t> indices;
   for (size_t i = 0; i < tasks_.size(); ++i) {

@@ -24,7 +24,7 @@
 
 namespace fmoe {
 
-enum class ExperimentMode { kOffline, kOnline, kScheduled };
+enum class ExperimentMode { kOffline, kOnline, kScheduled, kCluster };
 
 // Sentinel: "derive this task's seed from (plan_seed, task_index)". ExperimentOptions
 // defaults its seed to 42 for backwards compatibility, so derivation is opt-in per task.
@@ -60,6 +60,10 @@ class ExperimentPlan {
   size_t AddScheduled(std::string system, ExperimentOptions options, TraceProfile trace,
                       size_t request_count, SchedulerOptions scheduler,
                       std::vector<std::string> tags = {});
+  // Cluster task (RunCluster): replicas/router/memory come from options (see
+  // ExperimentOptions). options.replicas == 1 is RunOnline bit for bit.
+  size_t AddCluster(std::string system, ExperimentOptions options, TraceProfile trace,
+                    size_t request_count, std::vector<std::string> tags = {});
 
   // Model x dataset x system cross-product in row-major declaration order (model outermost,
   // system innermost — the iteration order every figure bench uses). `make_options` is

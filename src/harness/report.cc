@@ -120,6 +120,30 @@ void WriteResultJson(const ExperimentResult& result, bool include_latencies,
     out << "\"host_spills\":" << t.host_spills;
     out << "}";
   }
+  if (result.cluster_enabled) {
+    // Emitted only for multi-replica runs, so single-engine reports stay byte-identical.
+    const ClusterSummary& c = result.cluster;
+    out << ",\"cluster\":{";
+    out << "\"replicas\":" << c.replicas << ",";
+    out << "\"router_policy\":\"" << RouterPolicyName(c.router) << "\",";
+    out << "\"memory_mode\":\"" << ClusterMemoryModeName(c.memory) << "\",";
+    out << "\"makespan_s\":" << Num(c.makespan) << ",";
+    out << "\"aggregate_throughput_rps\":" << Num(c.aggregate_throughput_rps) << ",";
+    out << "\"replica_stats\":[";
+    for (size_t i = 0; i < c.replica_stats.size(); ++i) {
+      const ClusterReplicaStats& r = c.replica_stats[i];
+      out << "{\"replica\":" << r.replica << ",";
+      out << "\"requests\":" << r.requests << ",";
+      out << "\"iterations\":" << r.iterations << ",";
+      out << "\"mean_e2e_s\":" << Num(r.mean_e2e) << ",";
+      out << "\"hit_rate\":" << Num(r.hit_rate) << ",";
+      out << "\"busy_until_s\":" << Num(r.busy_until) << "}";
+      if (i + 1 < c.replica_stats.size()) {
+        out << ",";
+      }
+    }
+    out << "]}";
+  }
   if (include_latencies) {
     out << ",\"request_latencies_s\":[";
     for (size_t i = 0; i < result.request_latencies.size(); ++i) {
@@ -154,9 +178,10 @@ void WritePlanReportJson(const ExperimentPlan& plan,
     const ExperimentTask& task = tasks[i];
     out << "{\"index\":" << i << ",";
     out << "\"system\":\"" << JsonEscape(task.system) << "\",";
-    const char* mode = task.mode == ExperimentMode::kOffline    ? "offline"
-                       : task.mode == ExperimentMode::kOnline   ? "online"
-                                                                : "scheduled";
+    const char* mode = task.mode == ExperimentMode::kOffline      ? "offline"
+                       : task.mode == ExperimentMode::kOnline     ? "online"
+                       : task.mode == ExperimentMode::kScheduled  ? "scheduled"
+                                                                  : "cluster";
     out << "\"mode\":\"" << mode << "\",";
     out << "\"seed\":" << task.options.seed << ",";
     out << "\"tags\":[";

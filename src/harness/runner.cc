@@ -20,6 +20,8 @@ ExperimentResult RunTask(const ExperimentTask& task, TraceRecorder* trace) {
     case ExperimentMode::kScheduled:
       return RunScheduled(run->system, run->options, run->trace, run->request_count,
                           run->scheduler);
+    case ExperimentMode::kCluster:
+      return RunCluster(run->system, run->options, run->trace, run->request_count);
   }
   return ExperimentResult{};  // Unreachable; all modes handled above.
 }

@@ -12,7 +12,7 @@ namespace {
 SystemSpec FmoeVariant(const std::string& name, const ModelConfig& model, int distance,
                        bool semantic, bool dynamic_threshold, const std::string& cache,
                        size_t store_capacity, double low_precision_threshold,
-                       MapPrecision map_precision, int host_stage_candidates,
+                       MapPrecision map_precision, int host_stage_candidates, int map_shards,
                        StoreDedupPolicy dedup = StoreDedupPolicy::kRedundancy) {
   FmoeOptions options;
   options.variant_name = name;
@@ -21,6 +21,7 @@ SystemSpec FmoeVariant(const std::string& name, const ModelConfig& model, int di
   options.map_precision = map_precision;
   options.low_precision_threshold = low_precision_threshold;
   options.host_stage_candidates = host_stage_candidates;
+  options.map_shards = map_shards;
   options.matcher.use_semantic = semantic;
   options.matcher.use_trajectory = true;
   options.prefetcher.dynamic_threshold = dynamic_threshold;
@@ -38,47 +39,47 @@ SystemSpec FmoeVariant(const std::string& name, const ModelConfig& model, int di
 
 SystemSpec MakeSystem(const std::string& name, const ModelConfig& model, int prefetch_distance,
                       size_t fmoe_store_capacity, double low_precision_threshold,
-                      MapPrecision map_precision, int host_stage_candidates) {
+                      MapPrecision map_precision, int host_stage_candidates, int map_shards) {
   SystemSpec spec;
   spec.name = name;
   if (name == "fMoE") {
     return FmoeVariant(name, model, prefetch_distance, /*semantic=*/true,
                        /*dynamic_threshold=*/true, "fMoE-PriorityLFU",
                        fmoe_store_capacity, low_precision_threshold, map_precision,
-                       host_stage_candidates);
+                       host_stage_candidates, map_shards);
   }
   if (name == "Map(T)") {
     return FmoeVariant(name, model, prefetch_distance, /*semantic=*/false,
                        /*dynamic_threshold=*/false, "fMoE-PriorityLFU",
                        fmoe_store_capacity, low_precision_threshold, map_precision,
-                       host_stage_candidates);
+                       host_stage_candidates, map_shards);
   }
   if (name == "Map(T+S)") {
     return FmoeVariant(name, model, prefetch_distance, /*semantic=*/true,
                        /*dynamic_threshold=*/false, "fMoE-PriorityLFU",
                        fmoe_store_capacity, low_precision_threshold, map_precision,
-                       host_stage_candidates);
+                       host_stage_candidates, map_shards);
   }
   if (name == "Map(T+S+d)") {
     return FmoeVariant(name, model, prefetch_distance, /*semantic=*/true,
                        /*dynamic_threshold=*/true, "fMoE-PriorityLFU",
                        fmoe_store_capacity, low_precision_threshold, map_precision,
-                       host_stage_candidates);
+                       host_stage_candidates, map_shards);
   }
   if (name == "fMoE-FIFOStore") {
     return FmoeVariant(name, model, prefetch_distance, true, true, "fMoE-PriorityLFU",
                        fmoe_store_capacity, low_precision_threshold, map_precision,
-                       host_stage_candidates, StoreDedupPolicy::kFifo);
+                       host_stage_candidates, map_shards, StoreDedupPolicy::kFifo);
   }
   if (name == "fMoE-LRU") {
     return FmoeVariant(name, model, prefetch_distance, true, true, "LRU",
                        fmoe_store_capacity, low_precision_threshold, map_precision,
-                       host_stage_candidates);
+                       host_stage_candidates, map_shards);
   }
   if (name == "fMoE-LFU") {
     return FmoeVariant(name, model, prefetch_distance, true, true, "LFU",
                        fmoe_store_capacity, low_precision_threshold, map_precision,
-                       host_stage_candidates);
+                       host_stage_candidates, map_shards);
   }
   if (name == "MoE-Infinity") {
     spec.cache_policy = "LFU";

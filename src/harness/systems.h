@@ -47,11 +47,14 @@ struct SystemSpec {
 // `host_stage_candidates` enables tier-aware prefetch for fMoE-family systems on multi-tier
 // engines: the top N scored-but-not-selected map candidates per matched layer are staged
 // NVMe→host speculatively. No-op (bit-identical) on two-tier engines and for baselines.
+// `map_shards` splits the Expert Map Store into semantic-cluster shards (DESIGN.md §5i);
+// 1 (the default) is byte-identical to the unsharded store and is a no-op for baselines.
 SystemSpec MakeSystem(const std::string& name, const ModelConfig& model, int prefetch_distance,
                       size_t fmoe_store_capacity = 1000,
                       double low_precision_threshold = 0.0,
                       MapPrecision map_precision = MapPrecision::kFp32,
-                      int host_stage_candidates = 0);
+                      int host_stage_candidates = 0,
+                      int map_shards = 1);
 
 // The five systems of Figs. 9-11, worst-to-best order used in the paper's plots.
 std::vector<std::string> PaperSystemNames();

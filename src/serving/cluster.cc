@@ -1,0 +1,94 @@
+#include "src/serving/cluster.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace fmoe {
+
+const char* RouterPolicyName(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kRoundRobin:
+      return "round-robin";
+    case RouterPolicy::kLeastLoaded:
+      return "least-loaded";
+    case RouterPolicy::kSemanticAffinity:
+      return "semantic-affinity";
+  }
+  return "?";
+}
+
+bool ParseRouterPolicy(const std::string& name, RouterPolicy* policy) {
+  if (name == "round-robin") {
+    *policy = RouterPolicy::kRoundRobin;
+    return true;
+  }
+  if (name == "least-loaded") {
+    *policy = RouterPolicy::kLeastLoaded;
+    return true;
+  }
+  if (name == "semantic-affinity") {
+    *policy = RouterPolicy::kSemanticAffinity;
+    return true;
+  }
+  return false;
+}
+
+const char* ClusterMemoryModeName(ClusterMemoryMode mode) {
+  switch (mode) {
+    case ClusterMemoryMode::kReplicate:
+      return "replicate";
+    case ClusterMemoryMode::kPartition:
+      return "partition";
+  }
+  return "?";
+}
+
+bool ParseClusterMemoryMode(const std::string& name, ClusterMemoryMode* mode) {
+  if (name == "replicate") {
+    *mode = ClusterMemoryMode::kReplicate;
+    return true;
+  }
+  if (name == "partition") {
+    *mode = ClusterMemoryMode::kPartition;
+    return true;
+  }
+  return false;
+}
+
+RequestRouter::RequestRouter(const ClusterOptions& options, uint64_t seed)
+    : options_(options), affinity_(std::max(options.replicas, 1), seed) {
+  FMOE_CHECK_MSG(options.replicas >= 1, "cluster needs at least one replica");
+}
+
+int RequestRouter::Route(const Request& request, std::span<const double> prompt_embedding,
+                         std::span<const ReplicaLoad> loads) {
+  (void)request;
+  const int replicas = options_.replicas;
+  if (replicas <= 1) {
+    return 0;
+  }
+  FMOE_CHECK(loads.size() == static_cast<size_t>(replicas));
+  switch (options_.router) {
+    case RouterPolicy::kRoundRobin:
+      return static_cast<int>(round_robin_next_++ % static_cast<uint64_t>(replicas));
+    case RouterPolicy::kLeastLoaded: {
+      // Earliest virtual completion time wins; strict < keeps ties on the lowest index.
+      int best = 0;
+      for (int r = 1; r < replicas; ++r) {
+        if (loads[static_cast<size_t>(r)].busy_until <
+            loads[static_cast<size_t>(best)].busy_until) {
+          best = r;
+        }
+      }
+      return best;
+    }
+    case RouterPolicy::kSemanticAffinity:
+      FMOE_CHECK_MSG(!prompt_embedding.empty(),
+                     "semantic-affinity routing needs a prompt embedding");
+      return affinity_.Route(prompt_embedding);
+  }
+  return 0;
+}
+
+}  // namespace fmoe

@@ -1,0 +1,104 @@
+// Simulated multi-replica serving cluster (DESIGN.md §5i).
+//
+// A cluster is R independent serving engines fed by one arrival trace through a
+// RequestRouter. Replicas share nothing at runtime — each owns its policy, cache, and
+// virtual clock — which mirrors the shared-nothing scale-out deployments the paper's
+// single-node study motivates: per-replica expert caches either replicate the hot set
+// (kReplicate) or split one memory budget R ways (kPartition).
+//
+// Routing policies:
+//   * kRoundRobin       — requests cycle through replicas in arrival order. The baseline.
+//   * kLeastLoaded      — each request goes to the replica whose virtual clock (completion
+//                         time of its last assigned request) is earliest; ties break to the
+//                         lowest replica index so routing is deterministic.
+//   * kSemanticAffinity — requests hash to replicas by the same semantic LSH signature the
+//                         sharded map store uses (kSemanticRouterSeed), so requests from one
+//                         semantic cluster land on the replica whose map store and expert
+//                         cache already learned that cluster.
+//
+// Determinism: Route() is a pure function of (options, seed, request order, loads), so a
+// cluster run is reproducible bit-for-bit at any replica count.
+#ifndef FMOE_SRC_SERVING_CLUSTER_H_
+#define FMOE_SRC_SERVING_CLUSTER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/shard_router.h"
+#include "src/workload/workload.h"
+
+namespace fmoe {
+
+enum class RouterPolicy {
+  kRoundRobin = 0,
+  kLeastLoaded = 1,
+  kSemanticAffinity = 2,
+};
+
+const char* RouterPolicyName(RouterPolicy policy);
+// Accepts the RouterPolicyName() spellings ("round-robin", "least-loaded",
+// "semantic-affinity"). Returns false (leaving *policy untouched) on anything else.
+bool ParseRouterPolicy(const std::string& name, RouterPolicy* policy);
+
+// How per-replica expert caches relate to the single-node memory budget.
+enum class ClusterMemoryMode {
+  kReplicate = 0,  // Every replica gets the full budget (memory scales with R).
+  kPartition = 1,  // The single-node budget is split evenly across replicas.
+};
+
+const char* ClusterMemoryModeName(ClusterMemoryMode mode);
+bool ParseClusterMemoryMode(const std::string& name, ClusterMemoryMode* mode);
+
+struct ClusterOptions {
+  int replicas = 1;
+  RouterPolicy router = RouterPolicy::kRoundRobin;
+  ClusterMemoryMode memory = ClusterMemoryMode::kReplicate;
+};
+
+// Router-visible load state, updated by the harness after each request completes.
+struct ReplicaLoad {
+  double busy_until = 0.0;  // Virtual completion time of the replica's last request.
+  size_t assigned = 0;      // Requests routed to this replica so far.
+};
+
+class RequestRouter {
+ public:
+  RequestRouter(const ClusterOptions& options, uint64_t seed);
+
+  // Picks the replica for `request`. `prompt_embedding` feeds the semantic-affinity hash
+  // (may be empty for other policies); `loads` must have one entry per replica.
+  int Route(const Request& request, std::span<const double> prompt_embedding,
+            std::span<const ReplicaLoad> loads);
+
+  const ClusterOptions& options() const { return options_; }
+
+ private:
+  ClusterOptions options_;
+  SemanticShardRouter affinity_;
+  uint64_t round_robin_next_ = 0;
+};
+
+// Per-replica slice of a cluster run, merged into the report JSON.
+struct ClusterReplicaStats {
+  int replica = 0;
+  size_t requests = 0;
+  uint64_t iterations = 0;
+  double mean_e2e = 0.0;
+  double hit_rate = 0.0;
+  double busy_until = 0.0;  // Replica makespan: completion time of its last request.
+};
+
+struct ClusterSummary {
+  int replicas = 1;
+  RouterPolicy router = RouterPolicy::kRoundRobin;
+  ClusterMemoryMode memory = ClusterMemoryMode::kReplicate;
+  double makespan = 0.0;                 // max over replicas of busy_until.
+  double aggregate_throughput_rps = 0.0; // Completed requests / makespan.
+  std::vector<ClusterReplicaStats> replica_stats;
+};
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_SERVING_CLUSTER_H_

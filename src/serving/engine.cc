@@ -44,13 +44,15 @@ ServingEngine::ServingEngine(const ModelConfig& model, const EngineConfig& confi
   if (trace_ != nullptr) {
     // Pseudo-thread layout (DESIGN.md §5f): the engine's critical path first, then the
     // matcher and cache timelines, then one link + one memory track per device. Request
-    // lifecycle tracks are registered lazily per batch slot.
+    // lifecycle tracks are registered lazily per batch slot. Every name carries the
+    // trace_track_prefix ("" for single-engine runs; "replicaK/" under the cluster harness).
+    const std::string& tp = config_.trace_track_prefix;
     trace_->SetTimeSource([this] { return clock_.now(); });
-    trace_engine_track_ = trace_->RegisterTrack("engine");
-    matcher_.set_trace(trace_, trace_->RegisterTrack("matcher"));
-    cache_.set_trace(trace_, trace_->RegisterTrack("cache"));
+    trace_engine_track_ = trace_->RegisterTrack(tp + "engine");
+    matcher_.set_trace(trace_, trace_->RegisterTrack(tp + "matcher"));
+    cache_.set_trace(trace_, trace_->RegisterTrack(tp + "cache"));
     for (int dev = 0; dev < cluster_.device_count(); ++dev) {
-      const std::string prefix = "gpu" + std::to_string(dev);
+      const std::string prefix = tp + "gpu" + std::to_string(dev);
       cluster_.device(dev).link().set_trace(trace_, trace_->RegisterTrack(prefix + "/link"));
       cluster_.device(dev).set_trace(trace_, trace_->RegisterTrack(prefix + "/mem"),
                                      prefix + ".used_bytes");
@@ -58,8 +60,8 @@ ServingEngine::ServingEngine(const ModelConfig& model, const EngineConfig& confi
     if (store_.enabled()) {
       // Tier pseudo-threads are appended strictly after every legacy track, in a fixed order,
       // so track ids — and the traced-vs-untraced bitwise goldens — never shift with config.
-      const int host_track = trace_->RegisterTrack("host_pool");
-      const int nvme_track = trace_->RegisterTrack("nvme/link");
+      const int host_track = trace_->RegisterTrack(tp + "host_pool");
+      const int nvme_track = trace_->RegisterTrack(tp + "nvme/link");
       store_.set_trace(trace_, host_track, nvme_track);
     }
   }
@@ -738,7 +740,8 @@ int ServingEngine::TraceSlotTrack(int slot) {
     trace_slot_tracks_.resize(idx + 1, 0);
   }
   if (trace_slot_tracks_[idx] == 0) {
-    trace_slot_tracks_[idx] = trace_->RegisterTrack("requests/slot" + std::to_string(slot));
+    trace_slot_tracks_[idx] = trace_->RegisterTrack(config_.trace_track_prefix +
+                                                    "requests/slot" + std::to_string(slot));
   }
   return trace_slot_tracks_[idx];
 }

@@ -60,6 +60,10 @@ struct EngineConfig {
   // Optional virtual-time trace recorder (not owned; must outlive the engine). A pure
   // observer: attaching one changes no timing, metrics, or policy decisions (DESIGN.md §5f).
   TraceRecorder* trace = nullptr;
+  // Prepended to every registered track name ("replica1/engine", ...). The cluster harness
+  // sets it per replica so one recorder's track table names which engine owns each timeline;
+  // empty (default) keeps single-engine track names byte-identical to the §5f goldens.
+  std::string trace_track_prefix;
 };
 
 class ServingEngine : public EngineHandle {
@@ -126,6 +130,7 @@ class ServingEngine : public EngineHandle {
   void SetCachedProbability(ExpertId id, double probability) override;
   std::vector<double> SpeculativeGate(const RequestRouting& routing, int iteration,
                                       int target_layer, int distance) const override;
+  TraceRecorder* trace() const override { return trace_; }
   void AddOverhead(OverheadCategory category, double seconds) override;
   void AddAsyncWork(OverheadCategory category, double seconds) override;
   uint64_t PublishDeferred(OverheadCategory category, PublishMode mode, double cost_seconds,

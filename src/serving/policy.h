@@ -63,6 +63,7 @@ enum class PublishMode {
 };
 
 class EngineHandle;
+class TraceRecorder;
 
 // Body of a deferred job: runs at the job's completion instant with the engine positioned at
 // that time. Must capture its decisions (expert lists, probabilities) BY VALUE at publish
@@ -126,6 +127,11 @@ class EngineHandle {
   // technique; accuracy decays with distance).
   virtual std::vector<double> SpeculativeGate(const RequestRouting& routing, int iteration,
                                               int target_layer, int distance) const = 0;
+
+  // Trace recorder attached to the engine, or null when tracing is off. Lets policies
+  // register their own pseudo-threads (e.g. per-shard store counters). The pure-observer
+  // contract of src/obs applies: nothing the policy decides may depend on recorder state.
+  virtual TraceRecorder* trace() const { return nullptr; }
 
   // Adds synchronous policy overhead to the current iteration (advances virtual time).
   virtual void AddOverhead(OverheadCategory category, double seconds) = 0;

@@ -117,6 +117,18 @@ int main(int argc, char** argv) {
   flags.AddInt("host-stage-candidates", 0,
                "fMoE-family tier-aware prefetch: top-N scored-but-not-selected map candidates "
                "staged NVMe->host per matched layer (multi-tier runs only)");
+  flags.AddInt("map-shards", 1,
+               "semantic-cluster shards for the fMoE Expert Map Store (DESIGN.md 5i); 1 "
+               "replays the unsharded store byte-identically");
+  flags.AddInt("replicas", 1,
+               "serving-engine replicas (online mode only); 1 replays the single-engine "
+               "online protocol byte-identically");
+  flags.AddString("router-policy", "round-robin",
+                  "cluster request router: round-robin | least-loaded | semantic-affinity "
+                  "(used when --replicas > 1)");
+  flags.AddString("cluster-memory", "replicate",
+                  "per-replica expert-cache budget: replicate (full budget each) | partition "
+                  "(single-node budget split across replicas)");
   flags.AddInt("seed", 42, "random seed (all components are deterministic given this)");
   flags.AddInt("jobs", 1,
                "worker threads when running several systems (0 = one per hardware thread); "
@@ -183,6 +195,26 @@ int main(int argc, char** argv) {
   options.tier.host_policy = flags.GetString("host-policy");
   options.tier.kv_bytes_per_token = flags.GetDouble("kv-bytes-per-token");
   options.host_stage_candidates = static_cast<int>(flags.GetInt("host-stage-candidates"));
+  options.map_shards = static_cast<int>(flags.GetInt("map-shards"));
+  if (options.map_shards < 1) {
+    std::cerr << "error: --map-shards must be >= 1\n";
+    return 1;
+  }
+  options.replicas = static_cast<int>(flags.GetInt("replicas"));
+  if (options.replicas < 1) {
+    std::cerr << "error: --replicas must be >= 1\n";
+    return 1;
+  }
+  if (!ParseRouterPolicy(flags.GetString("router-policy"), &options.router_policy)) {
+    std::cerr << "error: unknown router policy '" << flags.GetString("router-policy")
+              << "' (expected round-robin | least-loaded | semantic-affinity)\n";
+    return 1;
+  }
+  if (!ParseClusterMemoryMode(flags.GetString("cluster-memory"), &options.cluster_memory)) {
+    std::cerr << "error: unknown cluster memory mode '" << flags.GetString("cluster-memory")
+              << "' (expected replicate | partition)\n";
+    return 1;
+  }
 
   std::vector<std::string> systems;
   if (flags.GetString("system") == "all") {
@@ -194,6 +226,11 @@ int main(int argc, char** argv) {
   const bool online = flags.GetString("mode") == "online";
   if (!online && flags.GetString("mode") != "offline") {
     std::cerr << "error: unknown mode '" << flags.GetString("mode") << "'\n";
+    return 1;
+  }
+  if (options.replicas > 1 && !online) {
+    std::cerr << "error: --replicas > 1 needs --mode online (the cluster protocol routes an "
+                 "arrival trace)\n";
     return 1;
   }
 
@@ -216,6 +253,10 @@ int main(int argc, char** argv) {
   // Custom trace replay: load requests from CSV once, then serve them online per system.
   std::vector<Request> csv_requests;
   const bool use_csv = !flags.GetString("trace-csv").empty();
+  if (use_csv && options.replicas > 1) {
+    std::cerr << "error: --trace-csv replay does not support --replicas > 1\n";
+    return 1;
+  }
   if (use_csv) {
     const TraceIoResult io =
         ReadTraceCsvFromFile(flags.GetString("trace-csv"), options.dataset, &csv_requests);
@@ -252,7 +293,9 @@ int main(int argc, char** argv) {
   } else {
     ExperimentPlan plan(options.seed);
     for (const std::string& system : systems) {
-      if (online) {
+      if (online && options.replicas > 1) {
+        plan.AddCluster(system, options, trace, options.test_requests, {"system=" + system});
+      } else if (online) {
         plan.AddOnline(system, options, trace, options.test_requests, {"system=" + system});
       } else {
         plan.AddOffline(system, options, {"system=" + system});

@@ -129,6 +129,26 @@ TEST(GoldenMetricsTest, FmoeThreeTierMixtralSmall) {
   CompareOrUpdate("offline_mixtral_three_tier.json", RenderReport(results));
 }
 
+// The sharded-store / cluster degenerate configuration (DESIGN.md §5i): map_shards == 1 and
+// replicas == 1 — with the router and memory-mode knobs set to their *non*-default values,
+// which must all be inert at that scale — has to replay the legacy single-store engine
+// byte-identically. Pinned against the same committed golden as FiveSystemsOfflineMixtralSmall,
+// so any single-shard divergence shows up as a byte-level diff from the file on disk, not
+// merely from a sibling in-process run.
+TEST(GoldenMetricsTest, SingleShardSingleReplicaMatchesCommittedGolden) {
+  ExperimentOptions options = GoldenOptions();
+  options.map_shards = 1;
+  options.replicas = 1;
+  options.router_policy = RouterPolicy::kSemanticAffinity;  // Inert at R == 1.
+  options.cluster_memory = ClusterMemoryMode::kPartition;   // Inert at R == 1.
+  std::vector<ExperimentResult> results;
+  for (const std::string& system : PaperSystemNames()) {
+    results.push_back(RunOffline(system, options));
+    EXPECT_FALSE(results.back().cluster_enabled);
+  }
+  CompareOrUpdate("offline_mixtral_small.json", RenderReport(results));
+}
+
 // Quantized map stores are tolerance-checked, never byte-pinned (DESIGN.md §5g): the fp32
 // golden above stays the byte-exact contract, and the fp16/int8 runs of the same workload
 // must land within documented bounds of it — matching accuracy may shift argmax decisions on

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/sharded_store.h"
+
 namespace fmoe {
 namespace {
 
@@ -27,7 +29,7 @@ class HybridMatcherTest : public ::testing::Test {
     store_.Insert(Record(1, 0, 1.0, 0.0));
     store_.Insert(Record(2, 3, 0.0, 1.0));
   }
-  ExpertMapStore store_;
+  ShardedMapStore store_;
 };
 
 TEST_F(HybridMatcherTest, SemanticGuidesEarlyLayers) {
@@ -75,7 +77,7 @@ TEST_F(HybridMatcherTest, NoGuidanceWithEverythingDisabled) {
   HybridMatcher matcher(&store_, Tiny(), 2, options);
   matcher.BeginIteration(std::vector<double>{1.0, 0.0});
   EXPECT_FALSE(matcher.GuidanceFor(0).valid);
-  matcher.ObserveLayer(0, store_.Get(0).map.Layer(0));
+  matcher.ObserveLayer(0, store_.Get(0, 0).map.Layer(0));
   EXPECT_FALSE(matcher.GuidanceFor(2).valid);
 }
 
@@ -96,7 +98,7 @@ TEST_F(HybridMatcherTest, RematchCadenceLimitsSearches) {
   const uint64_t extend = n * 2 * static_cast<uint64_t>(Tiny().experts_per_layer);
   const uint64_t finalize = 3 * n;
   // First observation extends the running dots and triggers the first rematch.
-  matcher.ObserveLayer(0, store_.Get(0).map.Layer(0));
+  matcher.ObserveLayer(0, store_.Get(0, 0).map.Layer(0));
   EXPECT_EQ(matcher.ConsumeSearchFlops(), extend + finalize);
   // Next observation is within the cadence: the incremental dot extension is charged, but no
   // rematch happens — and in particular no recomputed-prefix scan.
@@ -137,14 +139,14 @@ TEST_F(HybridMatcherTest, ConsumeSearchFlopsDrainsCounter) {
 TEST_F(HybridMatcherTest, BeginIterationResetsTrajectoryState) {
   HybridMatcher matcher(&store_, Tiny(), 2, MatcherOptions{});
   matcher.BeginIteration(std::vector<double>{1.0, 0.0});
-  matcher.ObserveLayer(0, store_.Get(0).map.Layer(0));
+  matcher.ObserveLayer(0, store_.Get(0, 0).map.Layer(0));
   EXPECT_TRUE(matcher.trajectory_found());
   matcher.BeginIteration(std::vector<double>{1.0, 0.0});
   EXPECT_FALSE(matcher.trajectory_found());
 }
 
 TEST(HybridMatcherEmptyStoreTest, NoGuidanceFromEmptyStore) {
-  ExpertMapStore empty(Tiny(), 4, 2);
+  ShardedMapStore empty(Tiny(), 4, 2);
   HybridMatcher matcher(&empty, Tiny(), 2, MatcherOptions{});
   matcher.BeginIteration(std::vector<double>{1.0, 0.0});
   EXPECT_FALSE(matcher.GuidanceFor(0).valid);
