@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/control_signals.h"
 #include "src/obs/trace_recorder.h"
 #include "src/util/logging.h"
 
@@ -421,6 +422,11 @@ bool ExpertCache::Insert(const CacheEntry& entry, double now, std::vector<CacheE
   if (evicted != nullptr) {
     evicted->assign(victims_scratch_.begin(), victims_scratch_.end());
   }
+  if (stall_observer_) {
+    for (const CacheEntry& victim : victims_scratch_) {
+      stall_observer_->OnEvicted(victim.key);
+    }
+  }
   if (trace_) {
     for (const CacheEntry& victim : victims_scratch_) {
       trace_->OnEvicted(victim.key);
@@ -451,6 +457,11 @@ bool ExpertCache::SetReservation(uint64_t bytes, double now, std::vector<CacheEn
   if (evicted != nullptr) {
     evicted->assign(victims_scratch_.begin(), victims_scratch_.end());
   }
+  if (stall_observer_) {
+    for (const CacheEntry& victim : victims_scratch_) {
+      stall_observer_->OnEvicted(victim.key);
+    }
+  }
   if (trace_) {
     for (const CacheEntry& victim : victims_scratch_) {
       trace_->OnEvicted(victim.key);
@@ -475,6 +486,9 @@ bool ExpertCache::Remove(uint64_t key, CacheEntry* removed) {
   const CacheEntry out = RemoveResident(key);
   if (removed != nullptr) {
     *removed = out;
+  }
+  if (stall_observer_) {
+    stall_observer_->OnEvicted(key);
   }
   if (trace_) {
     // Policy-driven removal loses a prefetched copy the same way an eviction does.

@@ -80,6 +80,28 @@ void FillResult(const std::string& system_name, const ExperimentOptions& options
   }
 }
 
+// Serves `request` on `engine`, first offering it to `controller` (may be null) for SLO
+// shedding against the wait it has already accrued. Returns true when it was served. This is
+// the cluster-side admission point: RunCluster serves routed arrivals back to back, so the
+// only admission decision is shed-or-serve (batch limits belong to the scheduler protocol).
+bool ServeWithAdmission(ServingEngine* engine, AdmissionController* controller,
+                        const Request& request) {
+  if (controller == nullptr) {
+    engine->ServeRequest(request);
+    return true;
+  }
+  controller->OnArrived();
+  const double now = std::max(engine->now(), request.arrival_time);
+  controller->BeginAdmission(now);
+  if (controller->ShouldReject(request, now)) {
+    controller->OnRejected();
+    return false;
+  }
+  engine->ServeRequest(request);
+  controller->OnAdmitted();
+  return true;
+}
+
 }  // namespace
 
 uint64_t ResolveCacheBytes(const ExperimentOptions& options) {
@@ -135,12 +157,10 @@ ExperimentResult RunOnline(const std::string& system_name, const ExperimentOptio
   return result;
 }
 
-ExperimentResult RunScheduled(const std::string& system_name, const ExperimentOptions& options,
-                              const TraceProfile& trace, size_t request_count,
-                              const SchedulerOptions& sched) {
-  TraceGenerator generator(trace, ApplyCaps(options.dataset, options), options.seed);
-  const std::vector<Request> requests = generator.Generate(request_count);
-
+ExperimentResult RunScheduledReplay(const std::string& system_name,
+                                    const ExperimentOptions& options,
+                                    const std::vector<Request>& requests,
+                                    const SchedulerOptions& sched) {
   SystemSpec spec = MakeSystemFor(system_name, options);
   ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
   ContinuousBatchScheduler scheduler(&engine, sched);
@@ -149,6 +169,11 @@ ExperimentResult RunScheduled(const std::string& system_name, const ExperimentOp
   ExperimentResult result;
   FillResult(system_name, options, engine, spec, &result);
   result.scheduler_stats = scheduler.stats();
+  if (sched.admission.policy != AdmissionPolicyKind::kOpenLoop) {
+    result.admission_enabled = true;
+    result.admission_policy = sched.admission.policy;
+    result.admission = scheduler.controller().counters();
+  }
   // The scheduler owns request completion: its drained metrics (completion order) replace the
   // engine-side per-request view, and end-to-end latencies include queueing.
   result.request_latencies.clear();
@@ -164,6 +189,13 @@ ExperimentResult RunScheduled(const std::string& system_name, const ExperimentOp
   return result;
 }
 
+ExperimentResult RunScheduled(const std::string& system_name, const ExperimentOptions& options,
+                              const TraceProfile& trace, size_t request_count,
+                              const SchedulerOptions& sched) {
+  TraceGenerator generator(trace, ApplyCaps(options.dataset, options), options.seed);
+  return RunScheduledReplay(system_name, options, generator.Generate(request_count), sched);
+}
+
 ExperimentResult RunCluster(const std::string& system_name, const ExperimentOptions& options,
                             const TraceProfile& trace, size_t request_count) {
   TraceGenerator generator(trace, ApplyCaps(options.dataset, options), options.seed);
@@ -172,26 +204,42 @@ ExperimentResult RunCluster(const std::string& system_name, const ExperimentOpti
   const int replicas = std::max(options.replicas, 1);
   if (replicas == 1) {
     // Single replica: serve exactly as RunOnline would (same engine, same loop), so the
-    // default configuration replays today's behaviour bit for bit.
+    // default configuration replays today's behaviour bit for bit. A closed-loop admission
+    // policy adds a shed-or-serve gate in front of each arrival (open loop leaves the engine
+    // fully detached).
     SystemSpec spec = MakeSystemFor(system_name, options);
     ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
-    for (const Request& request : requests) {
-      engine.ServeRequest(request);
+    std::unique_ptr<AdmissionController> controller;
+    if (options.admission.policy != AdmissionPolicyKind::kOpenLoop) {
+      controller = MakeAdmissionController(options.admission);
+      engine.SetAdmissionController(controller.get());
     }
+    size_t served = 0;
+    for (const Request& request : requests) {
+      if (ServeWithAdmission(&engine, controller.get(), request)) {
+        ++served;
+      }
+    }
+    engine.SetAdmissionController(nullptr);
     ExperimentResult result;
     FillResult(system_name, options, engine, spec, &result);
+    if (controller != nullptr) {
+      result.admission_enabled = true;
+      result.admission_policy = options.admission.policy;
+      result.admission = controller->counters();
+    }
     result.cluster.replicas = 1;
     result.cluster.router = options.router_policy;
     result.cluster.memory = options.cluster_memory;
     ClusterReplicaStats stats;
-    stats.requests = requests.size();
+    stats.requests = served;
     stats.iterations = result.iterations;
     stats.mean_e2e = result.mean_e2e;
     stats.hit_rate = result.hit_rate;
     stats.busy_until = engine.now();
     result.cluster.makespan = engine.now();
     result.cluster.aggregate_throughput_rps =
-        engine.now() > 0.0 ? static_cast<double>(requests.size()) / engine.now() : 0.0;
+        engine.now() > 0.0 ? static_cast<double>(served) / engine.now() : 0.0;
     result.cluster.replica_stats.push_back(stats);
     return result;
   }
@@ -222,6 +270,18 @@ ExperimentResult RunCluster(const std::string& system_name, const ExperimentOpti
                                                       specs.back().policy.get()));
   }
 
+  // Per-replica controllers (closed-loop policies only): each replica's controller sees only
+  // its routed arrivals and drives only that engine's knobs, composing with the router.
+  std::vector<std::unique_ptr<AdmissionController>> controllers(
+      static_cast<size_t>(replicas));
+  if (options.admission.policy != AdmissionPolicyKind::kOpenLoop) {
+    for (int r = 0; r < replicas; ++r) {
+      controllers[static_cast<size_t>(r)] = MakeAdmissionController(options.admission);
+      engines[static_cast<size_t>(r)]->SetAdmissionController(
+          controllers[static_cast<size_t>(r)].get());
+    }
+  }
+
   RequestRouter router(cluster_options, options.seed ^ kSemanticRouterSeed);
   std::vector<ReplicaLoad> loads(static_cast<size_t>(replicas));
   std::vector<int> assignment(requests.size(), 0);
@@ -232,9 +292,16 @@ ExperimentResult RunCluster(const std::string& system_name, const ExperimentOpti
     }
     const int r = router.Route(requests[i], prompt_embedding, loads);
     assignment[i] = r;
-    engines[static_cast<size_t>(r)]->ServeRequest(requests[i]);
+    if (!ServeWithAdmission(engines[static_cast<size_t>(r)].get(),
+                            controllers[static_cast<size_t>(r)].get(), requests[i])) {
+      assignment[i] = -1;  // Shed at the replica door: no latency to merge, no load charged.
+      continue;
+    }
     loads[static_cast<size_t>(r)].busy_until = engines[static_cast<size_t>(r)]->now();
     ++loads[static_cast<size_t>(r)].assigned;
+  }
+  for (int r = 0; r < replicas; ++r) {
+    engines[static_cast<size_t>(r)]->SetAdmissionController(nullptr);
   }
 
   // Merge: arrival-order latencies (walk the assignment with per-replica cursors — each
@@ -313,9 +380,21 @@ ExperimentResult RunCluster(const std::string& system_name, const ExperimentOpti
   }
   result.request_latencies.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
+    if (assignment[i] < 0) {
+      continue;  // Shed before service: contributes a rejection, not a latency.
+    }
     const auto r = static_cast<size_t>(assignment[i]);
     FMOE_CHECK(cursor[r] < replica_latencies[r].size());
     result.request_latencies.push_back(replica_latencies[r][cursor[r]++]);
+  }
+  if (options.admission.policy != AdmissionPolicyKind::kOpenLoop) {
+    result.admission_enabled = true;
+    result.admission_policy = options.admission.policy;
+    for (const auto& controller : controllers) {
+      result.admission.arrived += controller->counters().arrived;
+      result.admission.admitted += controller->counters().admitted;
+      result.admission.rejected += controller->counters().rejected;
+    }
   }
   result.mean_ttft =
       total_requests == 0 ? 0.0 : ttft_weighted / static_cast<double>(total_requests);

@@ -64,6 +64,12 @@ struct ExperimentOptions {
   // Semantic-cluster shard count for the fMoE Expert Map Store (DESIGN.md §5i). 1 replays
   // the unsharded store byte-identically.
   int map_shards = 1;
+  // Admission policy + controller knobs (DESIGN.md §5j) for the runners that queue requests:
+  // RunCluster reads this directly (one controller per replica); RunScheduled takes its
+  // SchedulerOptions parameter as the authority (set sched.admission — fmoe_sim wires both
+  // from the same flags). The default open-loop policy replays every legacy path
+  // byte-identically.
+  AdmissionOptions admission;
   // Cluster knobs (RunCluster only; ignored by the single-engine runners). replicas = 1
   // replays RunOnline byte-identically regardless of router/memory settings.
   int replicas = 1;
@@ -109,6 +115,12 @@ struct ExperimentResult {
   // report omits the block and the result is byte-identical to RunOnline).
   bool cluster_enabled = false;
   ClusterSummary cluster;
+  // Closed-loop runs only (a non-open-loop admission policy on the scheduled or cluster
+  // runners): the active policy and the conservation counters, merged across replicas.
+  // admission_enabled is false on open-loop runs, so legacy reports stay byte-identical.
+  bool admission_enabled = false;
+  AdmissionPolicyKind admission_policy = AdmissionPolicyKind::kOpenLoop;
+  AdmissionCounters admission;
 };
 
 ExperimentResult RunOffline(const std::string& system_name, const ExperimentOptions& options);
@@ -117,17 +129,28 @@ ExperimentResult RunOnline(const std::string& system_name, const ExperimentOptio
                            const TraceProfile& trace, size_t request_count);
 
 // Continuous-batching protocol: requests from the trace are admitted by a
-// ContinuousBatchScheduler (batch limit + queue discipline from `sched`) instead of the
-// online protocol's FIFO one-at-a-time loop. request_latencies holds end-to-end latencies in
-// completion order (what the scheduler drains), not arrival order.
+// ContinuousBatchScheduler (batch limit + queue discipline + admission policy from `sched`)
+// instead of the online protocol's FIFO one-at-a-time loop. request_latencies holds
+// end-to-end latencies in completion order (what the scheduler drains), not arrival order;
+// with a shedding admission policy it covers served requests only.
 ExperimentResult RunScheduled(const std::string& system_name, const ExperimentOptions& options,
                               const TraceProfile& trace, size_t request_count,
                               const SchedulerOptions& sched);
 
+// RunScheduled over a caller-supplied request sequence (must be sorted by arrival time) —
+// e.g. a burst/overload trace from src/workload/burst.h or a loaded CSV.
+ExperimentResult RunScheduledReplay(const std::string& system_name,
+                                    const ExperimentOptions& options,
+                                    const std::vector<Request>& requests,
+                                    const SchedulerOptions& sched);
+
 // Multi-replica cluster protocol (DESIGN.md §5i): the trace's requests are routed across
 // `options.replicas` independent engines by `options.router_policy` and served in arrival
 // order. Per-request latencies are reported in arrival order (merged across replicas).
-// With replicas == 1 this is RunOnline, bit for bit.
+// With replicas == 1 this is RunOnline, bit for bit. A non-open-loop options.admission
+// policy runs one controller per replica (composing with the router): each replica's
+// controller sees only its routed arrivals, may shed them against the SLO, and drives that
+// engine's prefetch distance; latencies then cover admitted requests only.
 ExperimentResult RunCluster(const std::string& system_name, const ExperimentOptions& options,
                             const TraceProfile& trace, size_t request_count);
 

@@ -144,6 +144,15 @@ void WriteResultJson(const ExperimentResult& result, bool include_latencies,
     }
     out << "]}";
   }
+  if (result.admission_enabled) {
+    // Emitted only for closed-loop admission runs, so open-loop reports stay byte-identical.
+    out << ",\"admission\":{";
+    out << "\"policy\":\"" << AdmissionPolicyName(result.admission_policy) << "\",";
+    out << "\"arrived\":" << result.admission.arrived << ",";
+    out << "\"admitted\":" << result.admission.admitted << ",";
+    out << "\"rejected\":" << result.admission.rejected;
+    out << "}";
+  }
   if (include_latencies) {
     out << ",\"request_latencies_s\":[";
     for (size_t i = 0; i < result.request_latencies.size(); ++i) {

@@ -42,42 +42,6 @@ TraceArg TraceArg::Str(std::string key, std::string v) {
   return TraceArg{std::move(key), std::move(v), /*numeric=*/false};
 }
 
-const char* StallClassName(StallClass cls) {
-  switch (cls) {
-    case StallClass::kNeverPrefetched:
-      return "never-prefetched";
-    case StallClass::kPrefetchInFlight:
-      return "prefetch-in-flight";
-    case StallClass::kEvictedBeforeUse:
-      return "evicted-before-use";
-    default:
-      return "unknown";
-  }
-}
-
-const char* StallTierName(StallTier tier) {
-  switch (tier) {
-    case StallTier::kHost:
-      return "served-from-host";
-    case StallTier::kNvme:
-      return "served-from-nvme";
-    default:
-      return "unknown";
-  }
-}
-
-double StallAttribution::CategorySum() const {
-  double sum = 0.0;
-  for (double s : seconds) sum += s;
-  return sum;
-}
-
-double StallAttribution::TierSum() const {
-  double sum = 0.0;
-  for (double s : tier_seconds) sum += s;
-  return sum;
-}
-
 int TraceRecorder::RegisterTrack(const std::string& name) {
   tracks_.push_back(name);
   return static_cast<int>(tracks_.size());
@@ -139,58 +103,11 @@ uint64_t TraceRecorder::CountEvents(TracePhase phase, std::string_view name) con
   return count;
 }
 
-void TraceRecorder::OnPrefetchIssued(uint64_t key) {
-  key_state_[key] = KeyState::kPrefetchedUnused;
-}
-
-void TraceRecorder::OnExpertServed(uint64_t key) { key_state_.erase(key); }
-
-void TraceRecorder::OnEvicted(uint64_t key) {
-  auto it = key_state_.find(key);
-  if (it != key_state_.end() && it->second == KeyState::kPrefetchedUnused) {
-    it->second = KeyState::kEvictedBeforeUse;
-  }
-}
-
-StallClass TraceRecorder::ClassifyMiss(uint64_t key, MissKind kind) {
-  if (kind == MissKind::kQueuedPromoted || kind == MissKind::kInFlightLate) {
-    // A prefetch for this key exists right now but has not landed: in-flight by definition,
-    // regardless of any older evicted copy.
-    return StallClass::kPrefetchInFlight;
-  }
-  // Full miss. If a previously prefetched copy was evicted before its first use, the miss is
-  // the eviction's fault; the mark is consumed so later misses count as never-prefetched.
-  auto it = key_state_.find(key);
-  if (it != key_state_.end() && it->second == KeyState::kEvictedBeforeUse) {
-    key_state_.erase(it);
-    return StallClass::kEvictedBeforeUse;
-  }
-  return StallClass::kNeverPrefetched;
-}
-
-void TraceRecorder::AttributeStall(StallClass cls, double seconds) {
-  const size_t i = static_cast<size_t>(cls);
-  FMOE_CHECK(i < static_cast<size_t>(StallClass::kCount));
-  stall_.seconds[i] += seconds;
-  stall_.misses[i] += 1;
-  // Same addition sequence as the engine's demand_stall accumulation (one add per served
-  // miss, in serve order) so the totals compare bitwise equal.
-  stall_.total_seconds += seconds;
-  stall_.total_misses += 1;
-}
-
-void TraceRecorder::AttributeStallTier(StallTier tier, double seconds) {
-  const size_t i = static_cast<size_t>(tier);
-  FMOE_CHECK(i < static_cast<size_t>(StallTier::kCount));
-  stall_.tier_seconds[i] += seconds;
-  stall_.tier_misses[i] += 1;
-}
-
 void TraceRecorder::ClearEvents() {
   events_.clear();
-  stall_ = StallAttribution{};
-  // key_state_ is intentionally kept: prefetches issued during warmup are still live intent
-  // for the measured phase.
+  // The machine keeps its per-key prefetch state: prefetches issued during warmup are still
+  // live intent for the measured phase.
+  stall_machine_.ResetAttribution();
 }
 
 }  // namespace fmoe

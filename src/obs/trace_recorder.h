@@ -12,24 +12,27 @@
 // perfetto_export.h serialises the recorded events as Chrome trace-event JSON, loadable in
 // Perfetto / chrome://tracing, with virtual seconds mapped to microseconds.
 //
-// The recorder also owns the *stall-attribution* state machine: it watches prefetch-issue,
-// first-use, and eviction events per expert key and classifies every demand stall into
-// {never-prefetched, prefetch-in-flight, evicted-before-use} (stall_report.h renders the
-// result). The attributed total is accumulated with the exact same sequence of additions as
-// LatencyBreakdown::demand_stall, so the two are bitwise equal at the end of a run.
+// The recorder also carries a *stall-attribution* state machine (StallStateMachine, now a
+// standalone component in control_signals.h shared with the live control plane): it watches
+// prefetch-issue, first-use, and eviction events per expert key and classifies every demand
+// stall into {never-prefetched, prefetch-in-flight, evicted-before-use} (stall_report.h
+// renders the result). The attributed total is accumulated with the exact same sequence of
+// additions as LatencyBreakdown::demand_stall, so the two are bitwise equal at the end of a
+// run. The recorder delegates to a private machine instance, so attaching a live
+// ControlSignalTracker alongside a trace never perturbs the traced attribution.
 //
 // Thread-safety: a recorder belongs to exactly one engine (one simulation timeline) and is
 // not synchronised. The parallel plan runner attaches a recorder to a single task.
 #ifndef FMOE_SRC_OBS_TRACE_RECORDER_H_
 #define FMOE_SRC_OBS_TRACE_RECORDER_H_
 
-#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "src/obs/control_signals.h"
 
 namespace fmoe {
 
@@ -64,42 +67,8 @@ struct TraceEvent {
   std::vector<TraceArg> args;
 };
 
-// Why a demand stall happened (the decomposition of LatencyBreakdown::demand_stall).
-enum class StallClass : uint8_t {
-  kNeverPrefetched = 0,   // No live prefetch intent for the key when the gate asked.
-  kPrefetchInFlight = 1,  // A prefetch existed but had not landed (queued or transferring).
-  kEvictedBeforeUse = 2,  // A prefetched copy was evicted before its first use.
-  kCount,
-};
-
-const char* StallClassName(StallClass cls);
-
-// Which storage tier ultimately served a missed expert's bytes (the tier decomposition that
-// the multi-tier store adds on top of the StallClass taxonomy). Legacy two-tier runs charge
-// every miss to kHost — the offloaded copy lives host-side there by definition.
-enum class StallTier : uint8_t {
-  kHost = 0,  // Served from a host-RAM copy (hit-in-host).
-  kNvme = 1,  // Had to read NVMe (hit-in-nvme: staged through host or the direct path).
-  kCount,
-};
-
-const char* StallTierName(StallTier tier);
-
-// Accumulated stall attribution. `total_seconds` is accumulated with the same addition
-// sequence as the engine's demand_stall metric (one add per served miss, in serve order), so
-// the two compare bitwise equal; the per-class buckets partition the same stalls. The tier
-// buckets are an independent second partition of the same misses by serving tier.
-struct StallAttribution {
-  std::array<double, static_cast<size_t>(StallClass::kCount)> seconds = {};
-  std::array<uint64_t, static_cast<size_t>(StallClass::kCount)> misses = {};
-  std::array<double, static_cast<size_t>(StallTier::kCount)> tier_seconds = {};
-  std::array<uint64_t, static_cast<size_t>(StallTier::kCount)> tier_misses = {};
-  double total_seconds = 0.0;
-  uint64_t total_misses = 0;
-
-  double CategorySum() const;  // seconds[0] + seconds[1] + seconds[2].
-  double TierSum() const;      // tier_seconds[0] + tier_seconds[1].
-};
+// StallClass / StallTier / StallAttribution / MissKind live in control_signals.h now (the
+// taxonomy is shared with the live control plane); this header re-exports them transitively.
 
 class TraceRecorder {
  public:
@@ -128,29 +97,34 @@ class TraceRecorder {
   uint64_t CountEvents(TracePhase phase, std::string_view name) const;
 
   // --- Stall-attribution state machine (fed by the engine/cache hooks). ---
+  //
+  // Thin delegation to a private StallStateMachine (control_signals.h); the recorder's
+  // public surface is unchanged so every hook site and report reads exactly as before.
 
-  // How the engine found the expert when the gate demanded it.
-  enum class MissKind : uint8_t {
-    kNeverResident = 0,   // Full miss: no cache entry at all.
-    kQueuedPromoted = 1,  // Prefetch enqueued but not started; promoted to a demand load.
-    kInFlightLate = 2,    // Prefetch transfer started but lands after the gate asked.
-  };
+  // Legacy nested-name alias: hook sites spell TraceRecorder::MissKind.
+  using MissKind = fmoe::MissKind;
 
   // A policy-initiated load (prefetch or blocking speculative load) was issued for `key`.
-  void OnPrefetchIssued(uint64_t key);
+  void OnPrefetchIssued(uint64_t key) { stall_machine_.OnPrefetchIssued(key); }
   // The expert was served (hit or miss); any pending prefetch intent is consumed.
-  void OnExpertServed(uint64_t key);
+  void OnExpertServed(uint64_t key) { stall_machine_.OnExpertServed(key); }
   // The key's cache entry was evicted or removed.
-  void OnEvicted(uint64_t key);
+  void OnEvicted(uint64_t key) { stall_machine_.OnEvicted(key); }
   // Classifies a demand miss observed at issue time (consumes evicted-before-use marks).
-  StallClass ClassifyMiss(uint64_t key, MissKind kind);
+  StallClass ClassifyMiss(uint64_t key, MissKind kind) {
+    return stall_machine_.ClassifyMiss(key, kind);
+  }
   // Charges `seconds` of demand stall (>= 0, possibly 0 for fully hidden misses) to `cls`.
-  void AttributeStall(StallClass cls, double seconds);
+  void AttributeStall(StallClass cls, double seconds) {
+    stall_machine_.AttributeStall(cls, seconds);
+  }
   // Charges the same stall to the tier that served the bytes (the orthogonal partition;
   // callers invoke this alongside AttributeStall for every served miss).
-  void AttributeStallTier(StallTier tier, double seconds);
+  void AttributeStallTier(StallTier tier, double seconds) {
+    stall_machine_.AttributeStallTier(tier, seconds);
+  }
 
-  const StallAttribution& stall() const { return stall_; }
+  const StallAttribution& stall() const { return stall_machine_.stall(); }
 
   // Drops recorded events and stall accumulators but keeps tracks, the time source, and the
   // per-key prefetch state — the engine calls this when metrics reset after warmup, so the
@@ -158,17 +132,10 @@ class TraceRecorder {
   void ClearEvents();
 
  private:
-  // Per-key prefetch lifecycle for classification.
-  enum class KeyState : uint8_t {
-    kPrefetchedUnused = 0,  // Loaded by policy intent, not yet served.
-    kEvictedBeforeUse = 1,  // That copy was evicted before any serve.
-  };
-
   std::function<double()> now_fn_;
   std::vector<std::string> tracks_;
   std::vector<TraceEvent> events_;
-  StallAttribution stall_;
-  std::unordered_map<uint64_t, KeyState> key_state_;
+  StallStateMachine stall_machine_;
 };
 
 }  // namespace fmoe

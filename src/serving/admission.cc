@@ -1,0 +1,110 @@
+#include "src/serving/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace fmoe {
+
+bool ParseAdmissionPolicy(const std::string& name, AdmissionPolicyKind* kind) {
+  if (name == "open-loop") {
+    *kind = AdmissionPolicyKind::kOpenLoop;
+    return true;
+  }
+  if (name == "gradient") {
+    *kind = AdmissionPolicyKind::kGradient;
+    return true;
+  }
+  return false;
+}
+
+const char* AdmissionPolicyName(AdmissionPolicyKind kind) {
+  switch (kind) {
+    case AdmissionPolicyKind::kOpenLoop:
+      return "open-loop";
+    case AdmissionPolicyKind::kGradient:
+      return "gradient";
+    default:
+      return "unknown";
+  }
+}
+
+GradientAdmissionController::GradientAdmissionController(const AdmissionOptions& options)
+    : AdmissionController(options), batch_limit_(-1.0) {
+  FMOE_CHECK(options.min_batch >= 1);
+  FMOE_CHECK(options.gain > 0.0 && options.gain < 1.0);
+  FMOE_CHECK(options.shed_fraction > 0.0 && options.shed_fraction <= 1.0);
+  FMOE_CHECK(options.update_period_sec >= 0.0);
+}
+
+void GradientAdmissionController::BeginAdmission(double now) {
+  // Bounded cadence: at most one control update per update_period_sec of virtual time, so
+  // the number of controller actions is a function of the trace, not of how often the
+  // scheduler polls.
+  if (updated_once_ && now - last_update_ < options_.update_period_sec) {
+    return;
+  }
+  updated_once_ = true;
+  last_update_ = now;
+  ++control_updates_;
+  const ControlSignals s = signals_.Sample(now);
+
+  // AIMD on the batch limit. Thrash (prefetched experts evicted before first use) means the
+  // concurrent working sets overflow the expert cache: halve-ish the batch. A healthy window
+  // earns one additive step back toward (and past, until clamped) the configured limit.
+  if (batch_limit_ >= 0.0) {
+    if (s.stalls > 0 && s.cache_thrash_ratio > options_.thrash_threshold) {
+      batch_limit_ = std::max(static_cast<double>(options_.min_batch),
+                              batch_limit_ * (1.0 - options_.gain));
+    } else {
+      batch_limit_ += options_.gain;
+    }
+  }
+
+  // Prefetch-distance control: when in-flight stall dominates, prefetches are issued but too
+  // late — give the policy more lead layers. Decay the boost when the pressure is gone.
+  // Anti-windup: never integrate past the distance clamp, or sustained pressure would make
+  // the boost take arbitrarily many quiet windows to decay back to zero.
+  if (s.stalls > 0 && s.inflight_share > options_.inflight_threshold) {
+    distance_boost_ = std::min(distance_boost_ + 1, options_.max_prefetch_distance);
+  } else if (distance_boost_ > 0) {
+    --distance_boost_;
+  }
+}
+
+int GradientAdmissionController::BatchLimit(int configured_max, double /*now*/) {
+  if (batch_limit_ < 0.0) {
+    batch_limit_ = static_cast<double>(configured_max);  // First query seeds the AIMD state.
+  }
+  batch_limit_ = std::min(batch_limit_, static_cast<double>(configured_max));
+  const int limit = static_cast<int>(std::floor(batch_limit_));
+  return std::clamp(limit, options_.min_batch, configured_max);
+}
+
+bool GradientAdmissionController::ShouldReject(const Request& request, double now) {
+  if (options_.slo_sec <= 0.0) {
+    return false;
+  }
+  // Wait-budget shedding: once queueing alone has eaten shed_fraction of the SLO, service
+  // time on top of it would breach — reject now instead of serving a doomed request.
+  const double waited = now - request.arrival_time;
+  return waited > options_.slo_sec * options_.shed_fraction;
+}
+
+int GradientAdmissionController::PrefetchDistance(int configured, double /*now*/) {
+  return std::min(configured + distance_boost_, std::max(configured,
+                                                         options_.max_prefetch_distance));
+}
+
+std::unique_ptr<AdmissionController> MakeAdmissionController(const AdmissionOptions& options) {
+  switch (options.policy) {
+    case AdmissionPolicyKind::kGradient:
+      return std::make_unique<GradientAdmissionController>(options);
+    case AdmissionPolicyKind::kOpenLoop:
+    default:
+      return std::make_unique<OpenLoopAdmissionController>(options);
+  }
+}
+
+}  // namespace fmoe

@@ -222,6 +222,9 @@ void ServingEngine::PrefetchAsyncSized(ExpertId id, double probability, double /
         break;
     }
   }
+  if (signals_ != nullptr) {
+    signal_machine_.OnPrefetchIssued(key);
+  }
   if (trace_ != nullptr) {
     trace_->OnPrefetchIssued(key);
     trace_->Instant(trace_engine_track_, "prefetch-issue", "prefetch", clock_.now(),
@@ -342,6 +345,9 @@ void ServingEngine::BlockingLoad(ExpertId id, double probability) {
     }
   }
   const double stall = std::max(0.0, ready - clock_.now());
+  if (signals_ != nullptr) {
+    signal_machine_.OnPrefetchIssued(key);
+  }
   if (trace_ != nullptr) {
     // Blocking loads are policy-initiated (speculative baselines): the wait is charged to
     // sync overhead, NOT demand_stall, so it must not feed the stall attribution. The loaded
@@ -524,6 +530,9 @@ ServingEngine::ExpertJob ServingEngine::IssueExpert(ExpertId id, int tokens_rout
       const bool allocated = cluster_.DeviceFor(key).Allocate(model_.expert_bytes);
       FMOE_CHECK(allocated);
     }
+    if (signals_ != nullptr) {
+      job.stall_class = signal_machine_.ClassifyMiss(key, MissKind::kNeverResident);
+    }
     if (trace_ != nullptr) {
       job.stall_class = trace_->ClassifyMiss(key, TraceRecorder::MissKind::kNeverResident);
     }
@@ -531,6 +540,9 @@ ServingEngine::ExpertJob ServingEngine::IssueExpert(ExpertId id, int tokens_rout
     // Prefetch was enqueued but its transfer never started: promote to a demand load, which
     // jumps ahead of all queued prefetches ("pauses all expert prefetching tasks", §4.5).
     job.ready_at = PromoteQueuedToDemand(entry, key, link, &job.tier_source);
+    if (signals_ != nullptr) {
+      job.stall_class = signal_machine_.ClassifyMiss(key, MissKind::kQueuedPromoted);
+    }
     if (trace_ != nullptr) {
       job.stall_class = trace_->ClassifyMiss(key, TraceRecorder::MissKind::kQueuedPromoted);
     }
@@ -538,6 +550,9 @@ ServingEngine::ExpertJob ServingEngine::IssueExpert(ExpertId id, int tokens_rout
     // Prefetch in flight but late: wait out the remainder. Still a miss by the paper's
     // definition (weights not available when the gate asked), but cheaper than a full load.
     job.ready_at = entry.ready_at();
+    if (signals_ != nullptr) {
+      job.stall_class = signal_machine_.ClassifyMiss(key, MissKind::kInFlightLate);
+    }
     if (trace_ != nullptr) {
       job.stall_class = trace_->ClassifyMiss(key, TraceRecorder::MissKind::kInFlightLate);
     }
@@ -561,6 +576,19 @@ void ServingEngine::CompleteExpert(const ExpertJob& job) {
   const double stall = std::max(0.0, job.ready_at - clock_.now());
   clock_.AdvanceTo(job.ready_at);
   metrics_.breakdown().demand_stall += stall;
+  if (signals_ != nullptr) {
+    // Live mirror of the traced attribution: the same per-miss AttributeStall sequence on
+    // the engine's own machine, plus a windowed stall event for the controllers.
+    if (!job.hit) {
+      signal_machine_.AttributeStall(job.stall_class, stall);
+      signal_machine_.AttributeStallTier(job.tier_source == TieredExpertStore::Tier::kNvme
+                                             ? StallTier::kNvme
+                                             : StallTier::kHost,
+                                         stall);
+      signals_->RecordStall(job.stall_class, stall, clock_.now());
+    }
+    signal_machine_.OnExpertServed(key);
+  }
   if (job.hit) {
     metrics_.RecordHit();
     if (const ConstEntryRef entry = std::as_const(cache_).Find(key);
@@ -763,6 +791,9 @@ void ServingEngine::AdmitRequest(const Request& request) {
   member->metrics.request_id = request.id;
   member->metrics.arrival_time = request.arrival_time;
   member->metrics.start_time = clock_.now();
+  if (signals_ != nullptr) {
+    signals_->RecordAdmission(member->metrics.QueueingDelay(), clock_.now());
+  }
   policy_->OnRequestAdmitted(*this, member->context);
   active_members_.push_back(std::move(member));
 }
@@ -771,12 +802,21 @@ bool ServingEngine::StepIteration() {
   if (active_members_.empty()) {
     return false;
   }
+  if (admission_ != nullptr) {
+    // Iteration boundary: pull the controller's effective prefetch distance so policy hooks
+    // inside this iteration see the controlled lead.
+    prefetch_distance_override_ =
+        admission_->PrefetchDistance(config_.prefetch_distance, clock_.now());
+  }
   std::vector<BatchMember*> active;
   active.reserve(active_members_.size());
   for (const auto& member : active_members_) {
     active.push_back(member.get());
   }
-  RunIteration(active);
+  const double duration = RunIteration(active);
+  if (signals_ != nullptr) {
+    signals_->RecordIteration(duration, clock_.now());
+  }
 
   std::vector<std::unique_ptr<BatchMember>> still_active;
   still_active.reserve(active_members_.size());

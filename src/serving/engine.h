@@ -26,7 +26,9 @@
 #include "src/moe/embedding.h"
 #include "src/moe/gate_simulator.h"
 #include "src/moe/model_config.h"
+#include "src/obs/control_signals.h"
 #include "src/obs/trace_recorder.h"
+#include "src/serving/admission.h"
 #include "src/serving/deferred.h"
 #include "src/serving/metrics.h"
 #include "src/serving/policy.h"
@@ -100,14 +102,43 @@ class ServingEngine : public EngineHandle {
 
   RunMetrics& metrics() { return metrics_; }
   const RunMetrics& metrics() const { return metrics_; }
-  // Also clears the attached trace so the recorded events and the stall attribution cover
-  // exactly the window the metrics describe (warmup runs are discarded from both).
+  // Also clears the attached trace and live signal window so the recorded events, the stall
+  // attribution, and controller inputs cover exactly the window the metrics describe (warmup
+  // runs are discarded from all of them).
   void ResetMetrics() {
     metrics_ = RunMetrics();
     if (trace_ != nullptr) {
       trace_->ClearEvents();
     }
+    if (signals_ != nullptr) {
+      signals_->Clear();
+      signal_machine_.ResetAttribution();
+    }
   }
+
+  // --- Control plane (DESIGN.md §5j). Both default to detached: every hook below is a
+  // single null-pointer check and the engine replays the legacy path byte-identically. ---
+
+  // Attaches a live control-signal tracker: demand stalls (classified by the engine's own
+  // StallStateMachine, independent of any trace), admission queueing delays, and iteration
+  // durations are recorded into it in virtual time.
+  void SetControlSignals(ControlSignalTracker* signals) {
+    signals_ = signals;
+    cache_.set_stall_observer(signals != nullptr ? &signal_machine_ : nullptr);
+  }
+  // Attaches an admission controller: the engine feeds its signal tracker and pulls the
+  // effective prefetch distance from it at every iteration boundary. The batch-limit and
+  // shedding halves of the interface are consumed by the scheduler / cluster harness.
+  void SetAdmissionController(AdmissionController* controller) {
+    admission_ = controller;
+    SetControlSignals(controller != nullptr ? controller->signals() : nullptr);
+    if (controller == nullptr) {
+      prefetch_distance_override_ = 0;
+    }
+  }
+  // The engine-side stall attribution mirror (live path; bitwise-equal totals to an attached
+  // trace when both observe the same run).
+  const StallAttribution& signal_stall() const { return signal_machine_.stall(); }
 
   const ExpertCache& cache() const { return cache_; }
   const TieredExpertStore& store() const { return store_; }
@@ -120,7 +151,12 @@ class ServingEngine : public EngineHandle {
   // EngineHandle interface (policy-facing services).
   const ModelConfig& model() const override { return model_; }
   double now() const override { return clock_.now(); }
-  int prefetch_distance() const override { return config_.prefetch_distance; }
+  // Closed-loop controllers may raise the effective distance at iteration boundaries
+  // (override 0 = none = the configured value, the legacy behaviour).
+  int prefetch_distance() const override {
+    return prefetch_distance_override_ > 0 ? prefetch_distance_override_
+                                           : config_.prefetch_distance;
+  }
   void PrefetchAsync(ExpertId id, double probability, double priority) override;
   void PrefetchAsyncSized(ExpertId id, double probability, double priority,
                           double size_fraction) override;
@@ -222,6 +258,14 @@ class ServingEngine : public EngineHandle {
   TraceRecorder* trace_ = nullptr;  // Not owned.
   int trace_engine_track_ = 0;
   std::vector<int> trace_slot_tracks_;  // batch_slot -> track id, registered lazily.
+
+  // Live control-plane feed (null signals_ = detached; same single-pointer-check contract as
+  // tracing). signal_machine_ is the engine's own per-key classifier so the live path never
+  // consumes the trace recorder's classification marks.
+  ControlSignalTracker* signals_ = nullptr;  // Not owned.
+  StallStateMachine signal_machine_;
+  AdmissionController* admission_ = nullptr;  // Not owned.
+  int prefetch_distance_override_ = 0;        // 0 = use config_.prefetch_distance.
 
   // Continuous-batching state.
   std::vector<std::unique_ptr<BatchMember>> active_members_;

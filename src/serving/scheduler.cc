@@ -11,11 +11,46 @@ ContinuousBatchScheduler::ContinuousBatchScheduler(ServingEngine* engine,
     : engine_(engine), options_(options) {
   FMOE_CHECK(engine != nullptr);
   FMOE_CHECK(options.max_batch_size >= 1);
+  ResetController();
+}
+
+ContinuousBatchScheduler::~ContinuousBatchScheduler() {
+  // The engine outlives this scheduler; detach so it never dangles into a dead controller.
+  engine_->SetAdmissionController(nullptr);
+}
+
+void ContinuousBatchScheduler::ResetController() {
+  controller_ = MakeAdmissionController(options_.admission);
+  if (options_.admission.policy == AdmissionPolicyKind::kOpenLoop) {
+    // Open loop never reads signals and never moves a knob: leave the engine detached so the
+    // default configuration replays the legacy code path exactly (no signal feed, no
+    // distance override), byte for byte.
+    engine_->SetAdmissionController(nullptr);
+  } else {
+    engine_->SetAdmissionController(controller_.get());
+  }
 }
 
 void ContinuousBatchScheduler::AdmitArrived(std::vector<Request>& queue, double now) {
-  while (!queue.empty() &&
-         engine_->ActiveRequests() < static_cast<size_t>(options_.max_batch_size)) {
+  controller_->BeginAdmission(now);
+  // Shed pass: drop arrived requests the controller rejects. Removal (not skipping) keeps
+  // the run loop live — after this pass every arrived candidate is either admissible or
+  // gone, so admission below always makes progress.
+  for (size_t i = 0; i < queue.size();) {
+    if (queue[i].arrival_time > now) {
+      break;  // Queue is arrival-sorted: nothing further has arrived yet.
+    }
+    if (controller_->ShouldReject(queue[i], now)) {
+      controller_->OnRejected();
+      ++stats_.rejected_requests;
+      queue.erase(queue.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  const int limit = controller_->BatchLimit(options_.max_batch_size, now);
+  FMOE_CHECK(limit >= 1);
+  while (!queue.empty() && engine_->ActiveRequests() < static_cast<size_t>(limit)) {
     // Candidates: requests that have arrived by `now`.
     size_t pick = queue.size();
     for (size_t i = 0; i < queue.size(); ++i) {
@@ -33,6 +68,8 @@ void ContinuousBatchScheduler::AdmitArrived(std::vector<Request>& queue, double 
       return;  // Nothing has arrived.
     }
     engine_->AdmitRequest(queue[pick]);
+    controller_->OnAdmitted();
+    ++stats_.admitted_requests;
     queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick));
   }
 }
@@ -40,6 +77,7 @@ void ContinuousBatchScheduler::AdmitArrived(std::vector<Request>& queue, double 
 std::vector<RequestMetrics> ContinuousBatchScheduler::Run(
     const std::vector<Request>& requests) {
   stats_ = SchedulerStats();
+  ResetController();
   if (requests.empty()) {
     return {};
   }
@@ -51,13 +89,17 @@ std::vector<RequestMetrics> ContinuousBatchScheduler::Run(
   std::vector<Request> queue = requests;
   std::vector<RequestMetrics> completed;
   const double first_arrival = std::max(queue.front().arrival_time, engine_->now());
+  stats_.arrived_requests = requests.size();
+  controller_->OnArrived(requests.size());
 
   uint64_t occupancy_sum = 0;
   while (!queue.empty() || engine_->ActiveRequests() > 0) {
     AdmitArrived(queue, engine_->now());
     if (engine_->ActiveRequests() == 0) {
+      if (queue.empty()) {
+        break;  // Everything left was shed.
+      }
       // Idle: jump to the next arrival.
-      FMOE_CHECK(!queue.empty());
       engine_->AdvanceClockTo(queue.front().arrival_time);
       continue;
     }

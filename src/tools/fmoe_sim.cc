@@ -81,10 +81,29 @@ int main(int argc, char** argv) {
   flags.AddString("system", "fMoE",
                   "system to run, 'all' for the paper's five, or any registry name "
                   "(see src/harness/systems.h)");
-  flags.AddString("mode", "offline", "protocol: offline (7:3 split) | online (trace replay)");
+  flags.AddString("mode", "offline",
+                  "protocol: offline (7:3 split) | online (trace replay) | scheduled "
+                  "(continuous batching through the admission-controlled scheduler)");
   flags.AddInt("history", 80, "history requests used to warm the policy (offline mode)");
   flags.AddInt("requests", 24, "measured requests (test split or trace length)");
   flags.AddInt("batch", 1, "lockstep batch size (offline mode)");
+  flags.AddInt("max-batch", 4, "scheduled mode: continuous-batching lockstep batch limit");
+  flags.AddString("discipline", "fcfs",
+                  "scheduled mode queue discipline: fcfs | sjf (shortest job first)");
+  flags.AddString("admission-policy", "open-loop",
+                  "admission control for scheduled/cluster runs: open-loop (fixed knobs, "
+                  "never rejects; the byte-identical default) | gradient (closed-loop AIMD on "
+                  "live stall-attribution signals; DESIGN.md 5j)");
+  flags.AddDouble("slo-ms", 0.0,
+                  "end-to-end latency objective in milliseconds; the gradient policy sheds "
+                  "queued requests whose wait already burns the budget (0 = no shedding)");
+  flags.AddDouble("admission-window-s", 0.5,
+                  "signal window in virtual seconds for the gradient controller");
+  flags.AddDouble("admission-gain", 0.5,
+                  "AIMD gain for the gradient controller (multiplicative decrease on cache "
+                  "thrash, additive increase on recovery)");
+  flags.AddDouble("admission-update-s", 0.05,
+                  "gradient controller update cadence in virtual seconds");
   flags.AddInt("distance", 3, "prefetch distance d in layers");
   flags.AddInt("max-decode", 32, "cap on decode tokens per request (0 = dataset default)");
   flags.AddInt("store-capacity", 512, "fMoE Expert Map Store capacity");
@@ -215,6 +234,29 @@ int main(int argc, char** argv) {
               << "' (expected replicate | partition)\n";
     return 1;
   }
+  if (!ParseAdmissionPolicy(flags.GetString("admission-policy"), &options.admission.policy)) {
+    std::cerr << "error: unknown admission policy '" << flags.GetString("admission-policy")
+              << "' (expected open-loop | gradient)\n";
+    return 1;
+  }
+  options.admission.slo_sec = flags.GetDouble("slo-ms") * 1e-3;
+  options.admission.window_sec = flags.GetDouble("admission-window-s");
+  options.admission.gain = flags.GetDouble("admission-gain");
+  options.admission.update_period_sec = flags.GetDouble("admission-update-s");
+  SchedulerOptions sched;
+  sched.max_batch_size = static_cast<int>(flags.GetInt("max-batch"));
+  if (sched.max_batch_size < 1) {
+    std::cerr << "error: --max-batch must be >= 1\n";
+    return 1;
+  }
+  const std::string discipline = flags.GetString("discipline");
+  if (discipline == "sjf") {
+    sched.discipline = SchedulerOptions::QueueDiscipline::kShortestJobFirst;
+  } else if (discipline != "fcfs") {
+    std::cerr << "error: unknown discipline '" << discipline << "' (expected fcfs | sjf)\n";
+    return 1;
+  }
+  sched.admission = options.admission;
 
   std::vector<std::string> systems;
   if (flags.GetString("system") == "all") {
@@ -223,9 +265,11 @@ int main(int argc, char** argv) {
     systems.push_back(flags.GetString("system"));
   }
 
-  const bool online = flags.GetString("mode") == "online";
-  if (!online && flags.GetString("mode") != "offline") {
-    std::cerr << "error: unknown mode '" << flags.GetString("mode") << "'\n";
+  const std::string mode = flags.GetString("mode");
+  const bool online = mode == "online";
+  const bool scheduled = mode == "scheduled";
+  if (!online && !scheduled && mode != "offline") {
+    std::cerr << "error: unknown mode '" << mode << "'\n";
     return 1;
   }
   if (options.replicas > 1 && !online) {
@@ -297,6 +341,9 @@ int main(int argc, char** argv) {
         plan.AddCluster(system, options, trace, options.test_requests, {"system=" + system});
       } else if (online) {
         plan.AddOnline(system, options, trace, options.test_requests, {"system=" + system});
+      } else if (scheduled) {
+        plan.AddScheduled(system, options, trace, options.test_requests, sched,
+                          {"system=" + system});
       } else {
         plan.AddOffline(system, options, {"system=" + system});
       }

@@ -1,0 +1,55 @@
+// Burst / overload arrival traces for admission-control experiments (DESIGN.md §5j).
+//
+// The serving-layer TraceProfile (src/serving/trace.h) models an Azure-like steady state with
+// occasional short bursts — good for throughput studies, too gentle to exercise a closed-loop
+// admission controller. The generators here produce the adversarial shapes the controller is
+// built for:
+//
+//   * MakeBurstTrace    — a square-wave arrival process: quiet phases at `base_rate`
+//     alternating with bursts at `burst_rate`, on a fixed period. Queues build during each
+//     burst and drain (or fail to) during the quiet phase, so SLO shedding and AIMD batch
+//     control have a recurring signal to react to.
+//   * MakeOverloadTrace — sustained arrivals at a rate the service cannot match, so the queue
+//     grows without bound. Open-loop admission degrades into unbounded latency; a controller
+//     with an SLO must shed to keep served-request latency bounded.
+//
+// Both are deterministic given (profile, prompts, seed): arrival gaps are exponential at the
+// phase rate and prompt content comes from the standard WorkloadGenerator, so every replay of
+// a (trace, seed) pair sees the identical request sequence. This lives in src/workload (not
+// src/serving) because it is pure workload synthesis — no engine or scheduler types — and the
+// admission bench + scheduler tests consume it through replay-style runners.
+#ifndef FMOE_SRC_WORKLOAD_BURST_H_
+#define FMOE_SRC_WORKLOAD_BURST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/workload/workload.h"
+
+namespace fmoe {
+
+struct BurstTraceProfile {
+  std::string name = "square-wave-burst";
+  double base_rate = 0.05;       // Requests/s during quiet phases.
+  double burst_rate = 0.5;       // Requests/s during bursts.
+  double period_sec = 120.0;     // One quiet+burst cycle.
+  // Share of each period spent bursting, at the end of the period (quiet first, so the first
+  // requests arrive at the sustainable rate and the controller sees a healthy baseline).
+  // 1.0 degenerates to a sustained burst — the overload shape.
+  double burst_fraction = 0.25;
+};
+
+// `count` requests with strictly increasing arrival times following the square wave.
+std::vector<Request> MakeBurstTrace(const BurstTraceProfile& profile,
+                                    const DatasetProfile& prompts, size_t count,
+                                    uint64_t seed);
+
+// Sustained overload: arrivals at a constant `rate` (choose it above the service rate).
+// Equivalent to MakeBurstTrace with burst_fraction = 1 at burst_rate = rate.
+std::vector<Request> MakeOverloadTrace(double rate, const DatasetProfile& prompts,
+                                       size_t count, uint64_t seed);
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_WORKLOAD_BURST_H_

@@ -1,0 +1,181 @@
+#include "src/serving/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/workload.h"
+
+namespace fmoe {
+namespace {
+
+Request At(double arrival) {
+  Request request;
+  request.arrival_time = arrival;
+  return request;
+}
+
+AdmissionOptions GradientOptions() {
+  AdmissionOptions options;
+  options.policy = AdmissionPolicyKind::kGradient;
+  options.slo_sec = 2.0;
+  options.window_sec = 1.0;
+  options.update_period_sec = 0.1;
+  options.gain = 0.5;
+  return options;
+}
+
+// Drives the controller's signal tracker with `n` stall events of class `cls`, then runs one
+// control update at `now`.
+void UpdateWithStalls(AdmissionController* controller, StallClass cls, int n, double seconds,
+                      double now) {
+  for (int i = 0; i < n; ++i) {
+    controller->signals()->RecordStall(cls, seconds, now);
+  }
+  controller->BeginAdmission(now);
+}
+
+TEST(AdmissionPolicyTest, ParseAndName) {
+  AdmissionPolicyKind kind = AdmissionPolicyKind::kGradient;
+  EXPECT_TRUE(ParseAdmissionPolicy("open-loop", &kind));
+  EXPECT_EQ(kind, AdmissionPolicyKind::kOpenLoop);
+  EXPECT_TRUE(ParseAdmissionPolicy("gradient", &kind));
+  EXPECT_EQ(kind, AdmissionPolicyKind::kGradient);
+  EXPECT_FALSE(ParseAdmissionPolicy("pid", &kind));
+  EXPECT_STREQ(AdmissionPolicyName(AdmissionPolicyKind::kOpenLoop), "open-loop");
+  EXPECT_STREQ(AdmissionPolicyName(AdmissionPolicyKind::kGradient), "gradient");
+}
+
+TEST(AdmissionPolicyTest, FactoryDispatchesOnPolicy) {
+  AdmissionOptions options;
+  EXPECT_EQ(MakeAdmissionController(options)->kind(), AdmissionPolicyKind::kOpenLoop);
+  options.policy = AdmissionPolicyKind::kGradient;
+  EXPECT_EQ(MakeAdmissionController(options)->kind(), AdmissionPolicyKind::kGradient);
+}
+
+TEST(OpenLoopAdmissionTest, NeverMovesAnyKnob) {
+  OpenLoopAdmissionController controller(AdmissionOptions{});
+  // Even with heavy recorded distress, open loop returns the configured values verbatim.
+  controller.signals()->RecordStall(StallClass::kEvictedBeforeUse, 5.0, 1.0);
+  controller.BeginAdmission(1.0);
+  EXPECT_EQ(controller.BatchLimit(4, 1.0), 4);
+  EXPECT_EQ(controller.PrefetchDistance(3, 1.0), 3);
+  EXPECT_FALSE(controller.ShouldReject(At(0.0), 1000.0));
+}
+
+TEST(AdmissionCountersTest, HooksMaintainConservation) {
+  OpenLoopAdmissionController controller(AdmissionOptions{});
+  controller.OnArrived(5);
+  controller.OnAdmitted();
+  controller.OnAdmitted();
+  controller.OnRejected();
+  EXPECT_EQ(controller.counters().arrived, 5u);
+  EXPECT_EQ(controller.counters().admitted, 2u);
+  EXPECT_EQ(controller.counters().rejected, 1u);
+}
+
+TEST(GradientAdmissionTest, SeedsBatchLimitFromConfiguredMax) {
+  GradientAdmissionController controller(GradientOptions());
+  EXPECT_EQ(controller.BatchLimit(4, 0.0), 4);
+}
+
+TEST(GradientAdmissionTest, ThrashShrinksBatchMultiplicatively) {
+  GradientAdmissionController controller(GradientOptions());
+  ASSERT_EQ(controller.BatchLimit(8, 0.0), 8);
+  // Every stall second in the window is evicted-before-use: thrash ratio 1 > threshold.
+  UpdateWithStalls(&controller, StallClass::kEvictedBeforeUse, 4, 0.1, 0.5);
+  EXPECT_DOUBLE_EQ(controller.controlled_batch_limit(), 4.0);  // 8 * (1 - gain).
+  EXPECT_EQ(controller.BatchLimit(8, 0.5), 4);
+  UpdateWithStalls(&controller, StallClass::kEvictedBeforeUse, 4, 0.1, 0.7);
+  EXPECT_EQ(controller.BatchLimit(8, 0.7), 2);
+}
+
+TEST(GradientAdmissionTest, BatchLimitNeverFallsBelowMinBatch) {
+  AdmissionOptions options = GradientOptions();
+  options.min_batch = 2;
+  GradientAdmissionController controller(options);
+  ASSERT_EQ(controller.BatchLimit(4, 0.0), 4);
+  for (int step = 1; step <= 8; ++step) {
+    UpdateWithStalls(&controller, StallClass::kEvictedBeforeUse, 4, 0.1,
+                     0.5 * static_cast<double>(step));
+  }
+  EXPECT_EQ(controller.BatchLimit(4, 5.0), 2);
+}
+
+TEST(GradientAdmissionTest, HealthyWindowsGrowTheBatchBackAdditively) {
+  GradientAdmissionController controller(GradientOptions());
+  ASSERT_EQ(controller.BatchLimit(8, 0.0), 8);
+  UpdateWithStalls(&controller, StallClass::kEvictedBeforeUse, 4, 0.1, 0.5);
+  ASSERT_EQ(controller.BatchLimit(8, 0.5), 4);
+  // Quiet windows (no stall events recorded; old ones expire) step the limit back up by
+  // `gain` per update: 4.0 -> 4.5 -> 5.0 -> ... -> 8, then clamp at the configured max.
+  for (int step = 0; step < 12; ++step) {
+    controller.BeginAdmission(2.0 + 0.1 * static_cast<double>(step));
+  }
+  EXPECT_EQ(controller.BatchLimit(8, 4.0), 8);
+  EXPECT_DOUBLE_EQ(controller.controlled_batch_limit(), 8.0);  // Clamped, not unbounded.
+}
+
+TEST(GradientAdmissionTest, InFlightPressureRaisesPrefetchDistance) {
+  AdmissionOptions options = GradientOptions();
+  options.max_prefetch_distance = 5;
+  GradientAdmissionController controller(options);
+  EXPECT_EQ(controller.PrefetchDistance(3, 0.0), 3);
+  UpdateWithStalls(&controller, StallClass::kPrefetchInFlight, 4, 0.1, 0.5);
+  EXPECT_EQ(controller.distance_boost(), 1);
+  EXPECT_EQ(controller.PrefetchDistance(3, 0.5), 4);
+  // Boost is capped at max_prefetch_distance no matter how long the pressure lasts.
+  for (int step = 1; step <= 10; ++step) {
+    UpdateWithStalls(&controller, StallClass::kPrefetchInFlight, 4, 0.1,
+                     0.5 + 0.5 * static_cast<double>(step));
+  }
+  EXPECT_EQ(controller.PrefetchDistance(3, 6.0), 5);
+  // Anti-windup: the boost integrator is capped at the same clamp as the output.
+  EXPECT_EQ(controller.distance_boost(), options.max_prefetch_distance);
+  // And decays once the in-flight share drops (quiet updates, stalls expired).
+  const int peak = controller.distance_boost();
+  controller.BeginAdmission(100.0);
+  EXPECT_LT(controller.distance_boost(), peak);
+  for (int step = 0; step < 12; ++step) {
+    controller.BeginAdmission(101.0 + 0.5 * static_cast<double>(step));
+  }
+  EXPECT_EQ(controller.distance_boost(), 0);
+  EXPECT_EQ(controller.PrefetchDistance(3, 102.0), 3);
+}
+
+TEST(GradientAdmissionTest, ShedsOnceWaitBurnsTheSloBudget) {
+  AdmissionOptions options = GradientOptions();
+  options.slo_sec = 2.0;
+  options.shed_fraction = 0.5;
+  GradientAdmissionController controller(options);
+  EXPECT_FALSE(controller.ShouldReject(At(10.0), 10.9));  // Waited 0.9 < 1.0.
+  EXPECT_TRUE(controller.ShouldReject(At(10.0), 11.1));   // Waited 1.1 > 1.0.
+}
+
+TEST(GradientAdmissionTest, ZeroSloDisablesShedding) {
+  AdmissionOptions options = GradientOptions();
+  options.slo_sec = 0.0;
+  GradientAdmissionController controller(options);
+  EXPECT_FALSE(controller.ShouldReject(At(0.0), 1.0e6));
+}
+
+TEST(GradientAdmissionTest, UpdateCadenceIsBoundedByPeriod) {
+  AdmissionOptions options = GradientOptions();
+  options.update_period_sec = 1.0;
+  GradientAdmissionController controller(options);
+  // Twenty polls across 2 s of virtual time: at most 1 (initial) + 2 period boundaries.
+  for (int poll = 0; poll <= 20; ++poll) {
+    controller.BeginAdmission(0.1 * static_cast<double>(poll));
+  }
+  EXPECT_EQ(controller.control_updates(), 3u);
+}
+
+TEST(GradientAdmissionDeathTest, RejectsNonsenseKnobs) {
+  AdmissionOptions options = GradientOptions();
+  options.gain = 1.5;
+  EXPECT_DEATH(GradientAdmissionController{options}, "gain");
+  options = GradientOptions();
+  options.min_batch = 0;
+  EXPECT_DEATH(GradientAdmissionController{options}, "min_batch");
+}
+
+}  // namespace
+}  // namespace fmoe

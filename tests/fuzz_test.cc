@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include "src/baselines/on_demand_policy.h"
 #include "src/cache/expert_cache.h"
 #include "src/core/fmoe_policy.h"
 #include "src/memsim/link.h"
 #include "src/serving/engine.h"
+#include "src/serving/scheduler.h"
 #include "src/util/rng.h"
 #include "src/workload/workload.h"
 
@@ -289,6 +291,86 @@ TEST_P(EngineFuzzTest, RandomAsyncKnobsPreserveEngineInvariants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest, ::testing::Values(5u, 77u, 4242u, 31337u));
+
+// ---------------------------------------------------------------------------
+// Scheduler + admission-controller invariants under randomized knobs (DESIGN.md §5j): for any
+// policy, SLO, gain, window, cadence, and queue discipline, the controller's books must
+// balance — every arrived request is either admitted (and then served) or rejected, the
+// scheduler's counters agree with the controller's, and open loop never sheds.
+
+class SchedulerFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulerFuzzTest, ControllerBookkeepingConsistent) {
+  Rng rng(GetParam());
+  const ModelConfig model = TinyTestConfig();
+
+  for (int round = 0; round < 8; ++round) {
+    EngineConfig config;
+    config.prefetch_distance = 1 + static_cast<int>(rng.NextBounded(3));
+    config.expert_cache_bytes = model.expert_bytes * (2 + rng.NextBounded(12));
+    config.cache_policy = "LRU";
+    config.gpu_count = 1 + static_cast<int>(rng.NextBounded(2));
+    OnDemandPolicy policy(OnDemandOptions{.expert_agnostic = false});
+    ServingEngine engine(model, config, &policy);
+
+    SchedulerOptions sched;
+    sched.max_batch_size = 1 + static_cast<int>(rng.NextBounded(6));
+    sched.discipline = rng.NextBool(0.5) ? SchedulerOptions::QueueDiscipline::kFcfs
+                                         : SchedulerOptions::QueueDiscipline::kShortestJobFirst;
+    const bool closed_loop = rng.NextBool(0.5);
+    sched.admission.policy =
+        closed_loop ? AdmissionPolicyKind::kGradient : AdmissionPolicyKind::kOpenLoop;
+    sched.admission.slo_sec = rng.NextBool(0.5) ? 0.02 + rng.NextDouble() : 0.0;
+    sched.admission.shed_fraction = 0.05 + 0.95 * rng.NextDouble();
+    sched.admission.window_sec = 0.05 + rng.NextDouble();
+    sched.admission.update_period_sec = rng.NextBool(0.3) ? 0.0 : 0.05 * rng.NextDouble();
+    sched.admission.gain = 0.05 + 0.9 * rng.NextDouble();
+    sched.admission.thrash_threshold = rng.NextDouble();
+    sched.admission.inflight_threshold = rng.NextDouble();
+    ContinuousBatchScheduler scheduler(&engine, sched);
+
+    const size_t request_count = 4 + rng.NextBounded(28);
+    std::vector<Request> requests;
+    double arrival = 0.0;
+    for (uint64_t r = 0; r < request_count; ++r) {
+      Request request;
+      request.id = static_cast<uint64_t>(round) * 1000 + r;
+      request.routing.cluster = static_cast<int>(rng.NextBounded(4));
+      request.routing.blend_cluster = request.routing.cluster;
+      request.routing.seed = request.id * 7919 + 13;
+      request.prompt_tokens = 4 + static_cast<int>(rng.NextBounded(24));
+      request.decode_tokens = 1 + static_cast<int>(rng.NextBounded(16));
+      request.arrival_time = arrival;
+      // Mix simultaneous stampedes (deep queues that can trip the shedder) with gaps.
+      arrival += rng.NextBool(0.5) ? 0.0 : rng.NextExponential(20.0);
+      requests.push_back(request);
+    }
+
+    const auto completed = scheduler.Run(requests);
+    const SchedulerStats& stats = scheduler.stats();
+    const AdmissionController& controller = scheduler.controller();
+
+    // The books balance: arrived partitions into admitted + rejected; admitted == served.
+    ASSERT_EQ(stats.arrived_requests, request_count);
+    ASSERT_EQ(stats.arrived_requests, stats.admitted_requests + stats.rejected_requests);
+    ASSERT_EQ(stats.served_requests, stats.admitted_requests);
+    ASSERT_EQ(completed.size(), stats.served_requests);
+    // Scheduler and controller agree on every counter.
+    ASSERT_EQ(controller.counters().arrived, stats.arrived_requests);
+    ASSERT_EQ(controller.counters().admitted, stats.admitted_requests);
+    ASSERT_EQ(controller.counters().rejected, stats.rejected_requests);
+    // Open loop (or a disabled SLO) never sheds.
+    if (!closed_loop || sched.admission.slo_sec == 0.0) {
+      ASSERT_EQ(stats.rejected_requests, 0u);
+    }
+    // Whatever the controller did to the batch limit, occupancy respects the configured max.
+    ASSERT_LE(stats.mean_batch_occupancy,
+              static_cast<double>(sched.max_batch_size) + 1e-12);
+    ASSERT_TRUE(engine.TransferTagsConsistent());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzzTest, ::testing::Values(7u, 123u, 2026u, 60901u));
 
 }  // namespace
 }  // namespace fmoe

@@ -149,6 +149,45 @@ TEST(GoldenMetricsTest, SingleShardSingleReplicaMatchesCommittedGolden) {
   CompareOrUpdate("offline_mixtral_small.json", RenderReport(results));
 }
 
+// Golden-pins the continuous-batching scheduled path under the default open-loop admission
+// policy (DESIGN.md §5j): fMoE and the on-demand baseline replay an Azure-like trace through
+// the ContinuousBatchScheduler at a fixed seed. Any drift in batching, queue discipline, or
+// the open-loop controller's pass-through shows up as a byte-level diff here.
+TEST(GoldenMetricsTest, ScheduledOpenLoopMixtralSmall) {
+  TraceProfile trace;
+  std::vector<ExperimentResult> results;
+  for (const std::string& system : {std::string("fMoE"), std::string("DeepSpeed-Inference")}) {
+    results.push_back(
+        RunScheduled(system, GoldenOptions(), trace, GoldenOptions().test_requests,
+                     SchedulerOptions{}));
+    EXPECT_FALSE(results.back().admission_enabled);
+  }
+  CompareOrUpdate("scheduled_mixtral_small.json", RenderReport(results));
+}
+
+// The open-loop policy must ignore every controller knob: a scheduled run with all gradient
+// gains/thresholds/SLO set to aggressive non-default values — but the policy left at open
+// loop — replays the committed scheduled golden byte-identically (the closed-loop analogue of
+// DisabledTierConfigIsByteIdenticalToLegacy, pinned against the file on disk).
+TEST(GoldenMetricsTest, OpenLoopKnobsMatchCommittedScheduledGolden) {
+  SchedulerOptions sched;
+  sched.admission.slo_sec = 0.001;       // Would shed nearly everything if honoured.
+  sched.admission.shed_fraction = 0.01;
+  sched.admission.window_sec = 0.01;
+  sched.admission.update_period_sec = 0.0;
+  sched.admission.gain = 0.9;
+  sched.admission.thrash_threshold = 0.0;
+  sched.admission.inflight_threshold = 0.0;
+  TraceProfile trace;
+  std::vector<ExperimentResult> results;
+  for (const std::string& system : {std::string("fMoE"), std::string("DeepSpeed-Inference")}) {
+    results.push_back(
+        RunScheduled(system, GoldenOptions(), trace, GoldenOptions().test_requests, sched));
+    EXPECT_FALSE(results.back().admission_enabled);
+  }
+  CompareOrUpdate("scheduled_mixtral_small.json", RenderReport(results));
+}
+
 // Quantized map stores are tolerance-checked, never byte-pinned (DESIGN.md §5g): the fp32
 // golden above stays the byte-exact contract, and the fp16/int8 runs of the same workload
 // must land within documented bounds of it — matching accuracy may shift argmax decisions on

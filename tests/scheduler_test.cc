@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <tuple>
+
 #include "src/baselines/on_demand_policy.h"
 #include "src/core/fmoe_policy.h"
 #include "src/workload/workload.h"
@@ -136,6 +139,123 @@ TEST_F(SchedulerTest, StatsAccumulateSensibly) {
   EXPECT_EQ(stats.total_iterations, 6u);
   EXPECT_GT(stats.makespan_sec, 0.0);
   EXPECT_GT(stats.Throughput(8), 0.0);
+}
+
+// Queue-discipline conservation property: on the same short/long request mix, SJF and FCFS
+// must serve exactly the same request set with the same total token work — the discipline
+// only permutes admission order — and SJF must not lose on mean completion time (it is
+// provably optimal for mean flow time under serial service).
+TEST_F(SchedulerTest, QueueDisciplineConservationOnShortLongMix) {
+  auto run = [&](SchedulerOptions::QueueDiscipline discipline) {
+    OnDemandPolicy policy(OnDemandOptions{.expert_agnostic = false});
+    ServingEngine engine(Tiny(), SmallEngine(), &policy);
+    SchedulerOptions options;
+    options.max_batch_size = 1;  // Serial service: the discipline fully orders the queue.
+    options.discipline = discipline;
+    ContinuousBatchScheduler scheduler(&engine, options);
+    std::vector<Request> requests;
+    for (uint64_t i = 0; i < 10; ++i) {
+      // Alternating long (24-token) and short (2-token) decodes, all queued at once.
+      requests.push_back(MakeRequest(i, 0.0, i % 2 == 0 ? 24 : 2));
+    }
+    return scheduler.Run(requests);
+  };
+  const auto sjf = run(SchedulerOptions::QueueDiscipline::kShortestJobFirst);
+  const auto fcfs = run(SchedulerOptions::QueueDiscipline::kFcfs);
+  ASSERT_EQ(sjf.size(), fcfs.size());
+
+  auto summarize = [](const std::vector<RequestMetrics>& completed) {
+    std::set<uint64_t> ids;
+    uint64_t tokens = 0;
+    double completion_sum = 0.0;
+    for (const RequestMetrics& metrics : completed) {
+      ids.insert(metrics.request_id);
+      tokens += metrics.decode_iterations + 1;
+      completion_sum += metrics.completion_time;
+    }
+    return std::tuple(ids, tokens, completion_sum / static_cast<double>(completed.size()));
+  };
+  const auto [sjf_ids, sjf_tokens, sjf_mean] = summarize(sjf);
+  const auto [fcfs_ids, fcfs_tokens, fcfs_mean] = summarize(fcfs);
+  EXPECT_EQ(sjf_ids, fcfs_ids);        // Same served set.
+  EXPECT_EQ(sjf_tokens, fcfs_tokens);  // Same total token work.
+  EXPECT_LE(sjf_mean, fcfs_mean);      // SJF never worse on mean completion time.
+  EXPECT_LT(sjf_mean, fcfs_mean);      // And strictly better on a genuine short/long mix.
+}
+
+TEST_F(SchedulerTest, OpenLoopCountersConserve) {
+  ServingEngine engine(Tiny(), SmallEngine(), &policy_);
+  ContinuousBatchScheduler scheduler(&engine, SchedulerOptions{});
+  std::vector<Request> requests;
+  for (uint64_t i = 0; i < 5; ++i) {
+    requests.push_back(MakeRequest(i, 0.0));
+  }
+  scheduler.Run(requests);
+  const SchedulerStats& stats = scheduler.stats();
+  EXPECT_EQ(stats.arrived_requests, 5u);
+  EXPECT_EQ(stats.admitted_requests, 5u);
+  EXPECT_EQ(stats.rejected_requests, 0u);
+  EXPECT_EQ(scheduler.controller().kind(), AdmissionPolicyKind::kOpenLoop);
+}
+
+// Open loop must ignore every controller knob: a scheduler configured with aggressive
+// gradient-style values under the open-loop policy replays the default run exactly.
+TEST_F(SchedulerTest, OpenLoopKnobValuesAreInert) {
+  auto run = [&](const AdmissionOptions& admission) {
+    OnDemandPolicy policy(OnDemandOptions{.expert_agnostic = false});
+    ServingEngine engine(Tiny(), SmallEngine(), &policy);
+    SchedulerOptions options;
+    options.admission = admission;
+    ContinuousBatchScheduler scheduler(&engine, options);
+    std::vector<Request> requests;
+    for (uint64_t i = 0; i < 6; ++i) {
+      requests.push_back(MakeRequest(i, 0.005 * static_cast<double>(i), 5));
+    }
+    return scheduler.Run(requests);
+  };
+  AdmissionOptions loud;  // Every knob off-default, policy still open loop.
+  loud.slo_sec = 0.001;
+  loud.shed_fraction = 0.01;
+  loud.window_sec = 0.01;
+  loud.update_period_sec = 0.0;
+  loud.gain = 0.9;
+  loud.thrash_threshold = 0.0;
+  loud.inflight_threshold = 0.0;
+  const auto base = run(AdmissionOptions{});
+  const auto knobbed = run(loud);
+  ASSERT_EQ(base.size(), knobbed.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].request_id, knobbed[i].request_id);
+    EXPECT_EQ(base[i].completion_time, knobbed[i].completion_time);  // Bitwise equal.
+  }
+}
+
+TEST_F(SchedulerTest, GradientShedsStaleRequestsAndConserves) {
+  ServingEngine engine(Tiny(), SmallEngine(), &policy_);
+  SchedulerOptions options;
+  options.max_batch_size = 1;
+  options.admission.policy = AdmissionPolicyKind::kGradient;
+  options.admission.slo_sec = 0.05;  // Tight: a deep simultaneous queue must shed.
+  ContinuousBatchScheduler scheduler(&engine, options);
+  std::vector<Request> requests;
+  for (uint64_t i = 0; i < 24; ++i) {
+    requests.push_back(MakeRequest(i, 0.0, 12));
+  }
+  const auto completed = scheduler.Run(requests);
+  const SchedulerStats& stats = scheduler.stats();
+  EXPECT_GT(stats.rejected_requests, 0u);
+  EXPECT_EQ(stats.arrived_requests, stats.admitted_requests + stats.rejected_requests);
+  EXPECT_EQ(stats.served_requests, stats.admitted_requests);
+  EXPECT_EQ(completed.size(), stats.served_requests);
+  // The controller's own books agree with the scheduler's.
+  EXPECT_EQ(scheduler.controller().counters().arrived, stats.arrived_requests);
+  EXPECT_EQ(scheduler.controller().counters().admitted, stats.admitted_requests);
+  EXPECT_EQ(scheduler.controller().counters().rejected, stats.rejected_requests);
+  // Every served request's wait respected the shed threshold.
+  for (const RequestMetrics& metrics : completed) {
+    EXPECT_LE(metrics.QueueingDelay(),
+              options.admission.slo_sec * options.admission.shed_fraction + 1e-9);
+  }
 }
 
 using SchedulerDeathTest = ::testing::Test;
