@@ -33,11 +33,13 @@ struct BenchEnv {
   std::string out_json;   // Non-empty: also write a machine-readable report here.
   std::string trace_out;  // Non-empty: write a Chrome trace (Perfetto-loadable) here.
   int trace_task = 0;     // Plan index of the task the trace covers.
+  bool oracle = false;    // Run the clairvoyant oracle on every task (DESIGN.md §5k).
+  std::string oracle_out;  // Non-empty: write a compact per-task gap-summary JSON here.
 };
 
-// Parses the shared flags (--jobs, --out_json, --trace_out, --trace_task, --help). Returns
-// true to proceed; on false *exit_code holds the process exit status (0 for --help, 1 for a
-// malformed flag).
+// Parses the shared flags (--jobs, --out_json, --trace_out, --trace_task, --oracle,
+// --oracle_out, --help). Returns true to proceed; on false *exit_code holds the process exit
+// status (0 for --help, 1 for a malformed flag).
 bool ParseBenchArgs(int argc, const char* const* argv, const std::string& program,
                     const std::string& description, BenchEnv* env, int* exit_code);
 
@@ -49,6 +51,9 @@ using RenderFn = std::function<void(const std::vector<ExperimentResult>&, std::o
 // With --trace_out PATH, one task (--trace_task, default 0) runs with a TraceRecorder
 // attached; the Chrome trace-event JSON lands at PATH and the stall-attribution table goes to
 // stderr — stdout stays byte-identical to an untraced run.
+// With --oracle (or --oracle_out PATH), every task records its gate-decision tape and the
+// rendered output is followed by a "% of clairvoyant optimum" gap table; the default (off)
+// leaves stdout and --out_json byte-identical to a pre-oracle run.
 int BenchMain(int argc, const char* const* argv, const std::string& program,
               const std::string& description, const DeclareFn& declare,
               const RenderFn& render);

@@ -64,6 +64,17 @@ for bench in BENCH_*.json; do
   fi
 done
 
+# --- 2c. Tool guard: every command-line binary built from src/tools/ must be named in -----
+# HACKING.md, so shipping a tool without documenting its workflow fails CI.
+while IFS= read -r tool; do
+  [ -z "$tool" ] && continue
+  if ! grep -qE "(^|[^A-Za-z0-9_])${tool}([^A-Za-z0-9_]|$)" HACKING.md; then
+    echo "UNDOCUMENTED TOOL: $tool (built from src/tools/; document it in HACKING.md)"
+    fail=1
+  fi
+done < <(grep -oE '^add_executable\([A-Za-z0-9_]+' src/tools/CMakeLists.txt |
+         sed 's/^add_executable(//')
+
 # --- 3. README layout guard: every src/<module>/ appears in the layout section. -----------
 layout="$(awk '/^## Repository layout/{flag=1; next} /^## /{flag=0} flag' README.md)"
 if [ -z "$layout" ]; then

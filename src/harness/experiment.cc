@@ -46,8 +46,11 @@ SystemSpec MakeSystemFor(const std::string& system_name, const ExperimentOptions
                     options.map_shards);
 }
 
+// `oracle_recorder` is the engine's gate-decision tape when options.oracle is on (null
+// otherwise); the clairvoyant replay runs here, after the engine has finished the window.
 void FillResult(const std::string& system_name, const ExperimentOptions& options,
-                const ServingEngine& engine, const SystemSpec& spec, ExperimentResult* result) {
+                const ServingEngine& engine, const SystemSpec& spec,
+                const GateDecisionRecorder* oracle_recorder, ExperimentResult* result) {
   const RunMetrics& metrics = engine.metrics();
   result->system = system_name;
   result->mean_ttft = metrics.MeanTtft();
@@ -77,6 +80,14 @@ void FillResult(const std::string& system_name, const ExperimentOptions& options
     if (options.enable_score_log) {
       result->score_log = fmoe_policy->score_log();
     }
+  }
+  if (oracle_recorder != nullptr) {
+    result->oracle_enabled = true;
+    OracleConfig oracle_config;
+    oracle_config.expert_bytes = options.model.expert_bytes;
+    oracle_config.link = engine.config().gpu.link;
+    result->oracle = ComputeOracleReport(*oracle_recorder, oracle_config,
+                                         metrics.breakdown().demand_stall);
   }
 }
 
@@ -124,6 +135,12 @@ ExperimentResult RunOffline(const std::string& system_name, const ExperimentOpti
   SystemSpec spec = MakeSystemFor(system_name, options);
   auto* fmoe_policy = dynamic_cast<FmoePolicy*>(spec.policy.get());
   ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
+  GateDecisionRecorder oracle_recorder;
+  if (options.oracle) {
+    // Attached before warmup: the post-warmup metrics reset clears the tape, so it covers
+    // exactly the measured requests (same window as the trace recorder).
+    engine.SetOracleRecorder(&oracle_recorder);
+  }
   engine.WarmupWithHistory(split.history);
   if (fmoe_policy != nullptr && options.enable_score_log) {
     fmoe_policy->EnableScoreLog();
@@ -136,7 +153,8 @@ ExperimentResult RunOffline(const std::string& system_name, const ExperimentOpti
   }
 
   ExperimentResult result;
-  FillResult(system_name, options, engine, spec, &result);
+  FillResult(system_name, options, engine, spec,
+             options.oracle ? &oracle_recorder : nullptr, &result);
   return result;
 }
 
@@ -147,13 +165,18 @@ ExperimentResult RunOnline(const std::string& system_name, const ExperimentOptio
 
   SystemSpec spec = MakeSystemFor(system_name, options);
   ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
+  GateDecisionRecorder oracle_recorder;
+  if (options.oracle) {
+    engine.SetOracleRecorder(&oracle_recorder);
+  }
   // Online protocol: empty history (§6.3) — serve straight off the trace, FIFO.
   for (const Request& request : requests) {
     engine.ServeRequest(request);
   }
 
   ExperimentResult result;
-  FillResult(system_name, options, engine, spec, &result);
+  FillResult(system_name, options, engine, spec,
+             options.oracle ? &oracle_recorder : nullptr, &result);
   return result;
 }
 
@@ -163,11 +186,16 @@ ExperimentResult RunScheduledReplay(const std::string& system_name,
                                     const SchedulerOptions& sched) {
   SystemSpec spec = MakeSystemFor(system_name, options);
   ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
+  GateDecisionRecorder oracle_recorder;
+  if (options.oracle) {
+    engine.SetOracleRecorder(&oracle_recorder);
+  }
   ContinuousBatchScheduler scheduler(&engine, sched);
   const std::vector<RequestMetrics> completed = scheduler.Run(requests);
 
   ExperimentResult result;
-  FillResult(system_name, options, engine, spec, &result);
+  FillResult(system_name, options, engine, spec,
+             options.oracle ? &oracle_recorder : nullptr, &result);
   result.scheduler_stats = scheduler.stats();
   if (sched.admission.policy != AdmissionPolicyKind::kOpenLoop) {
     result.admission_enabled = true;
@@ -209,6 +237,10 @@ ExperimentResult RunCluster(const std::string& system_name, const ExperimentOpti
     // fully detached).
     SystemSpec spec = MakeSystemFor(system_name, options);
     ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
+    GateDecisionRecorder oracle_recorder;
+    if (options.oracle) {
+      engine.SetOracleRecorder(&oracle_recorder);
+    }
     std::unique_ptr<AdmissionController> controller;
     if (options.admission.policy != AdmissionPolicyKind::kOpenLoop) {
       controller = MakeAdmissionController(options.admission);
@@ -222,7 +254,8 @@ ExperimentResult RunCluster(const std::string& system_name, const ExperimentOpti
     }
     engine.SetAdmissionController(nullptr);
     ExperimentResult result;
-    FillResult(system_name, options, engine, spec, &result);
+    FillResult(system_name, options, engine, spec,
+               options.oracle ? &oracle_recorder : nullptr, &result);
     if (controller != nullptr) {
       result.admission_enabled = true;
       result.admission_policy = options.admission.policy;
@@ -251,6 +284,10 @@ ExperimentResult RunCluster(const std::string& system_name, const ExperimentOpti
 
   std::vector<SystemSpec> specs;
   std::vector<std::unique_ptr<ServingEngine>> engines;
+  // One tape per replica (each engine is its own cache + links); the per-replica gap
+  // reports are summed into one merged block below.
+  std::vector<GateDecisionRecorder> oracle_recorders(
+      options.oracle ? static_cast<size_t>(replicas) : 0);
   specs.reserve(static_cast<size_t>(replicas));
   engines.reserve(static_cast<size_t>(replicas));
   for (int r = 0; r < replicas; ++r) {
@@ -268,6 +305,9 @@ ExperimentResult RunCluster(const std::string& system_name, const ExperimentOpti
     }
     engines.push_back(std::make_unique<ServingEngine>(options.model, config,
                                                       specs.back().policy.get()));
+    if (options.oracle) {
+      engines.back()->SetOracleRecorder(&oracle_recorders[static_cast<size_t>(r)]);
+    }
   }
 
   // Per-replica controllers (closed-loop policies only): each replica's controller sees only
@@ -377,6 +417,18 @@ ExperimentResult RunCluster(const std::string& system_name, const ExperimentOpti
     stats.busy_until = engine.now();
     result.cluster.makespan = std::max(result.cluster.makespan, engine.now());
     result.cluster.replica_stats.push_back(stats);
+    if (options.oracle) {
+      // Each replica's tape replays against its own cache and links; the merged block sums
+      // the counters and recomputes the gaps over the whole cluster.
+      result.oracle_enabled = true;
+      OracleConfig oracle_config;
+      oracle_config.expert_bytes = options.model.expert_bytes;
+      oracle_config.link = engine.config().gpu.link;
+      AccumulateOracleReport(
+          &result.oracle,
+          ComputeOracleReport(oracle_recorders[static_cast<size_t>(r)], oracle_config,
+                              metrics.breakdown().demand_stall));
+    }
   }
   result.request_latencies.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -428,12 +480,17 @@ ExperimentResult RunReplay(const std::string& system_name, const ExperimentOptio
                            const std::vector<Request>& requests) {
   SystemSpec spec = MakeSystemFor(system_name, options);
   ServingEngine engine(options.model, MakeEngineConfig(options, spec), spec.policy.get());
+  GateDecisionRecorder oracle_recorder;
+  if (options.oracle) {
+    engine.SetOracleRecorder(&oracle_recorder);
+  }
   for (const Request& request : requests) {
     engine.ServeRequest(request);
   }
 
   ExperimentResult result;
-  FillResult(system_name, options, engine, spec, &result);
+  FillResult(system_name, options, engine, spec,
+             options.oracle ? &oracle_recorder : nullptr, &result);
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "src/memsim/gpu.h"
 #include "src/moe/cost_model.h"
 #include "src/moe/gate_simulator.h"
+#include "src/oracle/oracle.h"
 #include "src/serving/cluster.h"
 #include "src/serving/metrics.h"
 #include "src/serving/scheduler.h"
@@ -81,6 +82,11 @@ struct ExperimentOptions {
   // attaching one changes nothing about the run. For RunOffline the warmup phase resets it,
   // so the recorded trace covers exactly the measured requests.
   TraceRecorder* trace = nullptr;
+  // Clairvoyant oracle (DESIGN.md §5k): record the gate-decision tape and compute the
+  // Belady/prefetch-timeline optimality gap into ExperimentResult::oracle. Pure observer —
+  // every non-oracle field of the result (and therefore every golden report) is
+  // byte-identical whether this is on or off.
+  bool oracle = false;
 };
 
 struct ExperimentResult {
@@ -121,6 +127,11 @@ struct ExperimentResult {
   bool admission_enabled = false;
   AdmissionPolicyKind admission_policy = AdmissionPolicyKind::kOpenLoop;
   AdmissionCounters admission;
+  // Oracle runs only (options.oracle): the clairvoyant optimality-gap report, merged across
+  // replicas on cluster runs. oracle_enabled is false by default, so legacy reports stay
+  // byte-identical (the report omits the block).
+  bool oracle_enabled = false;
+  OracleReport oracle;
 };
 
 ExperimentResult RunOffline(const std::string& system_name, const ExperimentOptions& options);

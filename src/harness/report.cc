@@ -153,6 +153,23 @@ void WriteResultJson(const ExperimentResult& result, bool include_latencies,
     out << "\"rejected\":" << result.admission.rejected;
     out << "}";
   }
+  if (result.oracle_enabled) {
+    // Emitted only when the clairvoyant oracle ran, so default reports stay byte-identical.
+    const OracleReport& o = result.oracle;
+    out << ",\"oracle\":{";
+    out << "\"accesses\":" << o.accesses << ",";
+    out << "\"policy_hits\":" << o.policy_hits << ",";
+    out << "\"policy_misses\":" << o.policy_misses << ",";
+    out << "\"oracle_fetches\":" << o.oracle_fetches << ",";
+    out << "\"oracle_hits\":" << o.oracle_hits << ",";
+    out << "\"oracle_misses\":" << o.oracle_misses << ",";
+    out << "\"policy_stall_s\":" << Num(o.policy_stall_s) << ",";
+    out << "\"oracle_stall_s\":" << Num(o.oracle_stall_s) << ",";
+    out << "\"miss_gap\":" << Num(o.miss_gap) << ",";
+    out << "\"stall_gap\":" << Num(o.stall_gap) << ",";
+    out << "\"pct_of_clairvoyant\":" << Num(o.pct_of_clairvoyant);
+    out << "}";
+  }
   if (include_latencies) {
     out << ",\"request_latencies_s\":[";
     for (size_t i = 0; i < result.request_latencies.size(); ++i) {

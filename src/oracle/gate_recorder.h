@@ -1,0 +1,75 @@
+// Gate-decision recorder: the oracle's input tape.
+//
+// A pure observer in the `src/obs/` mould (null-checked hook pointer, attaching one changes
+// no timing, metrics, or policy decisions): the engine appends one OracleAccess per expert
+// serving at the instant the gate demanded it, and the clairvoyant oracle (oracle.h) replays
+// the tape after the run to compute the offline-optimal eviction/prefetch schedule. The
+// recorder deliberately captures everything the oracle's constraints depend on — virtual
+// time, the flat expert key, the *effective* cache capacity at that instant (KV-pressure
+// reservations included), the serving device (whose host link the bytes would cross), and an
+// access-group id marking which accesses were issued at the same clock instant (one MoE
+// layer's demands; same-group residents pin each other, DESIGN.md §5k).
+#ifndef FMOE_SRC_ORACLE_GATE_RECORDER_H_
+#define FMOE_SRC_ORACLE_GATE_RECORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fmoe {
+
+// One gate-demanded expert serving, as the oracle sees it.
+struct OracleAccess {
+  double time = 0.0;     // Virtual time of the gate demand (uniform within a group).
+  uint64_t key = 0;      // Flat expert key (ModelConfig::FlatIndex).
+  int layer = 0;
+  int expert = 0;
+  bool policy_hit = false;  // What the replayed policy actually achieved.
+  // Capacity available to expert weights at this instant: cache capacity minus the KV
+  // reservation (ExpertCache::effective_capacity_bytes). The oracle honors the same squeeze.
+  uint64_t effective_capacity_bytes = 0;
+  int device = 0;  // GpuCluster::DeviceForKey — which host link a (re)fetch would occupy.
+  int group = 0;   // Access-group id: all demands of one layer instant share one id.
+};
+
+class GateDecisionRecorder {
+ public:
+  // Opens a new access group. Every subsequent OnAccess belongs to it until the next call.
+  // The engine calls this once per (iteration, layer) immediately before issuing that
+  // layer's demands — the natural "simultaneous demand" boundary of the serving loop.
+  void BeginAccessGroup() { ++current_group_; }
+
+  void OnAccess(double time, uint64_t key, int layer, int expert, bool policy_hit,
+                uint64_t effective_capacity_bytes, int device) {
+    OracleAccess access;
+    access.time = time;
+    access.key = key;
+    access.layer = layer;
+    access.expert = expert;
+    access.policy_hit = policy_hit;
+    access.effective_capacity_bytes = effective_capacity_bytes;
+    access.device = device;
+    access.group = current_group_;
+    accesses_.push_back(access);
+  }
+
+  // Discards everything recorded so far and marks `now` as the measured window's start (the
+  // engine calls this from ResetMetrics, so the tape covers exactly the window the metrics
+  // describe — warmup runs are discarded from both).
+  void Clear(double now) {
+    accesses_.clear();
+    window_start_ = now;
+  }
+
+  const std::vector<OracleAccess>& accesses() const { return accesses_; }
+  double window_start() const { return window_start_; }
+  bool empty() const { return accesses_.empty(); }
+
+ private:
+  std::vector<OracleAccess> accesses_;
+  int current_group_ = 0;
+  double window_start_ = 0.0;
+};
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_ORACLE_GATE_RECORDER_H_

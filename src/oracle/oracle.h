@@ -1,0 +1,82 @@
+// Clairvoyant oracle: offline-optimal eviction (Belady) plus a prefetch-timeline solver over
+// a recorded gate-decision tape (gate_recorder.h), and the gap report every policy is
+// measured against (DESIGN.md §5k).
+//
+// Two stages, one tape:
+//   * BeladyReplay — minimum-fetch eviction schedule: farthest-next-use with bypass,
+//     replayed against the same per-instant effective capacity (KV-pressure reservations
+//     included) and the same-group pinning rule the engine enforces (one layer's demands
+//     cannot evict each other mid-layer). Its misses are the *mandatory fetches*: transfers
+//     no schedule with this capacity can avoid.
+//   * The prefetch-timeline solver — the clairvoyant also prefetches: every mandatory fetch
+//     is scheduled as early as physically possible (released at virtual time zero for first
+//     uses — foresight preloads compulsory fetches during the same warmup phase the engine
+//     fills its cache in — at the key's previous eviction/bypass instant for refetches) on
+//     its device's
+//     host link (fixed latency + bytes/bandwidth, transfers on one link serialize), in
+//     deadline order. A fetch that lands by its use time is a clairvoyant *hit*; a late one
+//     is a clairvoyant miss stalling by its lateness. Everything else the real engine pays —
+//     queueing, batching, matcher latency, contention with speculative traffic — is relaxed
+//     away, which is why the resulting stall is a *lower* bound.
+//
+// The gap report compares what the replayed policy did (recorded per access + the measured
+// demand-stall seconds) against the schedule the oracle constructs.
+#ifndef FMOE_SRC_ORACLE_ORACLE_H_
+#define FMOE_SRC_ORACLE_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/memsim/link.h"
+#include "src/oracle/gate_recorder.h"
+
+namespace fmoe {
+
+struct OracleConfig {
+  uint64_t expert_bytes = 0;  // Per-expert weight size; 0 = capacity never binds.
+  LinkConfig link;            // Host→GPU link model for the timeline solver.
+};
+
+// The optimality-gap block threaded through ExperimentResult / report JSON.
+struct OracleReport {
+  uint64_t accesses = 0;
+  uint64_t policy_hits = 0;
+  uint64_t policy_misses = 0;
+  // Belady's mandatory fetch count: accesses whose key could not have been resident under
+  // the recorded capacity, i.e. the fewest transfers any schedule must perform.
+  uint64_t oracle_fetches = 0;
+  // Clairvoyant outcome after the timeline solver: a fetch landing by its use time is a hit.
+  uint64_t oracle_hits = 0;
+  uint64_t oracle_misses = 0;   // = late fetches; never above oracle_fetches.
+  double policy_stall_s = 0.0;  // Measured demand-stall seconds (LatencyBreakdown).
+  double oracle_stall_s = 0.0;  // Total lateness of the clairvoyant schedule.
+  // Gap semantics (recomputed whenever counters change; clamped to [0, 1] / [0, 100]):
+  //   miss_gap  = (policy_misses - oracle_misses) / policy_misses — the fraction of the
+  //               policy's misses a clairvoyant scheduler would have avoided (0 = optimal).
+  //   stall_gap = (policy_stall_s - oracle_stall_s) / policy_stall_s — same, in demand-stall
+  //               seconds against the timeline bound (0 = at the bound).
+  //   pct_of_clairvoyant = 100 * policy_hits / oracle_hits — the headline "% of clairvoyant
+  //               optimum" hit figure (100 = matched perfect foresight).
+  double miss_gap = 0.0;
+  double stall_gap = 0.0;
+  double pct_of_clairvoyant = 100.0;
+};
+
+// Replays the tape through the clairvoyant evictor alone. Returns one flag per access, in
+// tape order: non-zero = the key was resident (no fetch needed). Deterministic (victim ties
+// break toward the larger key).
+std::vector<char> BeladyReplay(const std::vector<OracleAccess>& accesses,
+                               uint64_t expert_bytes);
+
+// Runs both stages over a recorded tape and fills the gap report. `policy_stall_s` is the
+// measured window's LatencyBreakdown::demand_stall.
+OracleReport ComputeOracleReport(const GateDecisionRecorder& recorder,
+                                 const OracleConfig& config, double policy_stall_s);
+
+// Sums `from`'s counters and stall seconds into `into` and recomputes the gaps — the
+// cluster runner merges one per-replica report per engine this way.
+void AccumulateOracleReport(OracleReport* into, const OracleReport& from);
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_ORACLE_ORACLE_H_

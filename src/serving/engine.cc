@@ -726,10 +726,20 @@ double ServingEngine::RunIteration(std::vector<BatchMember*>& active) {
     // Two-phase serving: issue every demand transfer first (they overlap across device
     // links), then wait-and-compute expert by expert.
     jobs_.clear();
+    if (oracle_ != nullptr) {
+      // One access group per layer instant: all of this layer's demands are issued at one
+      // clock time, so they pin each other in the oracle's replay just as Pin does here.
+      oracle_->BeginAccessGroup();
+    }
     for (int expert = 0; expert < model_.experts_per_layer; ++expert) {
       const int tokens = tokens_by_expert_[static_cast<size_t>(expert)];
       if (tokens > 0) {
         jobs_.push_back(IssueExpert(ExpertId{layer, expert}, tokens));
+        if (oracle_ != nullptr) {
+          const uint64_t key = KeyOf(jobs_.back().id);
+          oracle_->OnAccess(clock_.now(), key, layer, expert, jobs_.back().hit,
+                            cache_.effective_capacity_bytes(), cluster_.DeviceForKey(key));
+        }
       }
     }
     for (const ExpertJob& job : jobs_) {

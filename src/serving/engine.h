@@ -28,6 +28,7 @@
 #include "src/moe/model_config.h"
 #include "src/obs/control_signals.h"
 #include "src/obs/trace_recorder.h"
+#include "src/oracle/gate_recorder.h"
 #include "src/serving/admission.h"
 #include "src/serving/deferred.h"
 #include "src/serving/metrics.h"
@@ -114,6 +115,9 @@ class ServingEngine : public EngineHandle {
       signals_->Clear();
       signal_machine_.ResetAttribution();
     }
+    if (oracle_ != nullptr) {
+      oracle_->Clear(clock_.now());
+    }
   }
 
   // --- Control plane (DESIGN.md §5j). Both default to detached: every hook below is a
@@ -139,6 +143,12 @@ class ServingEngine : public EngineHandle {
   // The engine-side stall attribution mirror (live path; bitwise-equal totals to an attached
   // trace when both observe the same run).
   const StallAttribution& signal_stall() const { return signal_machine_.stall(); }
+
+  // Attaches a gate-decision recorder for the clairvoyant oracle (DESIGN.md §5k). Pure
+  // observer with the same contract as tracing: every hook is a single null-pointer check
+  // and recording changes no timing, metrics, or policy decisions. ResetMetrics clears the
+  // tape so it covers exactly the measured window.
+  void SetOracleRecorder(GateDecisionRecorder* oracle) { oracle_ = oracle; }
 
   const ExpertCache& cache() const { return cache_; }
   const TieredExpertStore& store() const { return store_; }
@@ -266,6 +276,9 @@ class ServingEngine : public EngineHandle {
   StallStateMachine signal_machine_;
   AdmissionController* admission_ = nullptr;  // Not owned.
   int prefetch_distance_override_ = 0;        // 0 = use config_.prefetch_distance.
+
+  // Clairvoyant-oracle tape (null = disabled; same single-pointer-check contract).
+  GateDecisionRecorder* oracle_ = nullptr;  // Not owned.
 
   // Continuous-batching state.
   std::vector<std::unique_ptr<BatchMember>> active_members_;

@@ -9,6 +9,7 @@
 //   fmoe_sim --model qwen --system all --format csv --jobs 4
 //   fmoe_sim --model phi --mode online --requests 64 --trace-rate 0.1 --format json
 //   fmoe_sim --model mixtral --system fMoE --save-store /tmp/mixtral.store
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <vector>
@@ -165,6 +166,11 @@ int main(int argc, char** argv) {
                   "write a Chrome trace-event JSON (Perfetto-loadable) of one system's run "
                   "here; stall attribution goes to stderr");
   flags.AddInt("trace-task", 0, "index of the system/task --trace-out covers (default 0)");
+  flags.AddBool("oracle", false,
+                "run the clairvoyant oracle on every system (DESIGN.md 5k): adds an "
+                "optimality-gap block to JSON output plus a gap table on stderr");
+  flags.AddString("oracle-out", "",
+                  "write a compact per-system optimality-gap JSON here (implies --oracle)");
   flags.AddString("output", "", "write results to this file instead of stdout");
 
   std::string error;
@@ -204,6 +210,8 @@ int main(int argc, char** argv) {
   options.matcher_latency_scale = flags.GetDouble("matcher-latency-scale");
   options.matcher_queue_depth = static_cast<int>(flags.GetInt("matcher-queue-depth"));
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const std::string oracle_out = flags.GetString("oracle-out");
+  options.oracle = flags.GetBool("oracle") || !oracle_out.empty();
   const double host_capacity_gb = flags.GetDouble("host-capacity-gb");
   options.tier.nvme_backing = flags.GetBool("nvme-backing") || host_capacity_gb > 0.0;
   options.tier.host_capacity_bytes =
@@ -366,6 +374,65 @@ int main(int argc, char** argv) {
     std::cerr << "trace: " << recorder.events().size() << " events -> " << trace_out
               << " (load in ui.perfetto.dev or chrome://tracing)\n"
               << RenderStallReport(recorder.stall());
+  }
+
+  if (options.oracle) {
+    // Gap table goes to stderr (like the stall report) so --format stdout is unchanged by
+    // everything except the report's own oracle block.
+    AsciiTable gap_table({"system", "% of optimum", "miss gap", "stall gap",
+                          "policy stall (ms)", "oracle stall (ms)"});
+    for (const ExperimentResult& r : results) {
+      if (!r.oracle_enabled) {
+        continue;
+      }
+      gap_table.AddRow({r.system, AsciiTable::Num(r.oracle.pct_of_clairvoyant, 1),
+                        AsciiTable::Num(r.oracle.miss_gap, 3),
+                        AsciiTable::Num(r.oracle.stall_gap, 3),
+                        AsciiTable::Num(r.oracle.policy_stall_s * 1e3, 1),
+                        AsciiTable::Num(r.oracle.oracle_stall_s * 1e3, 1)});
+    }
+    gap_table.Print(std::cerr);
+    if (!oracle_out.empty()) {
+      std::ofstream oracle_file(oracle_out);
+      if (!oracle_file) {
+        std::cerr << "error: cannot open " << oracle_out << " for writing\n";
+        return 1;
+      }
+      oracle_file << "{\"program\":\"fmoe_sim\",\"tasks\":[";
+      bool first = true;
+      for (size_t i = 0; i < results.size(); ++i) {
+        const ExperimentResult& r = results[i];
+        if (!r.oracle_enabled) {
+          continue;
+        }
+        if (!first) {
+          oracle_file << ",";
+        }
+        first = false;
+        char buffer[512];
+        std::snprintf(buffer, sizeof(buffer),
+                      "{\"task\":%zu,\"system\":\"%s\",\"oracle\":{\"accesses\":%llu,"
+                      "\"policy_hits\":%llu,\"policy_misses\":%llu,\"oracle_fetches\":%llu,"
+                      "\"oracle_hits\":%llu,\"oracle_misses\":%llu,\"policy_stall_s\":%.9g,"
+                      "\"oracle_stall_s\":%.9g,\"miss_gap\":%.9g,\"stall_gap\":%.9g,"
+                      "\"pct_of_clairvoyant\":%.9g}}",
+                      i, r.system.c_str(),
+                      static_cast<unsigned long long>(r.oracle.accesses),
+                      static_cast<unsigned long long>(r.oracle.policy_hits),
+                      static_cast<unsigned long long>(r.oracle.policy_misses),
+                      static_cast<unsigned long long>(r.oracle.oracle_fetches),
+                      static_cast<unsigned long long>(r.oracle.oracle_hits),
+                      static_cast<unsigned long long>(r.oracle.oracle_misses),
+                      r.oracle.policy_stall_s, r.oracle.oracle_stall_s, r.oracle.miss_gap,
+                      r.oracle.stall_gap, r.oracle.pct_of_clairvoyant);
+        oracle_file << buffer;
+      }
+      oracle_file << "]}\n";
+      if (!oracle_file) {
+        std::cerr << "error: writing " << oracle_out << " failed\n";
+        return 1;
+      }
+    }
   }
 
   // Optional store export: re-run fMoE through an engine we keep, then persist its store.

@@ -1,0 +1,47 @@
+// trace_diff — report the first divergent event between two --trace_out JSON files.
+//
+// Usage: trace_diff GOOD.json BAD.json
+//
+// Exit status: 0 when the traces are event-for-event identical, 1 on divergence (the first
+// divergent event is printed with its track, name, and virtual timestamp), 2 on I/O or parse
+// errors. See HACKING.md "Diffing two traces" for the debugging workflow.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/tools/trace_diff_lib.h"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: trace_diff A.json B.json\n"
+    "\n"
+    "Aligns two Chrome trace-event JSON files written by --trace_out and reports the first\n"
+    "divergent event (track, name, virtual timestamp, differing field). Metadata rows are\n"
+    "used only to resolve track names, so traces from different programs are comparable.\n"
+    "\n"
+    "exit status: 0 identical, 1 divergent, 2 error\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::cout << kUsage;
+      return 0;
+    }
+  }
+  if (argc != 3) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  const std::string path_a = argv[1];
+  const std::string path_b = argv[2];
+  const fmoe::TraceDiffResult result = fmoe::DiffTraceFiles(path_a, path_b);
+  if (!result.ok) {
+    std::cerr << fmoe::RenderTraceDiff(result, path_a, path_b);
+    return 2;
+  }
+  std::cout << fmoe::RenderTraceDiff(result, path_a, path_b);
+  return result.identical ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// trace_diff — aligns two Chrome trace-event JSON files produced by --trace_out
+// (src/obs/perfetto_export.cc) and reports the first divergent event.
+//
+// The intended workflow (HACKING.md "Diffing two traces"): capture a trace of a good run and
+// a bad run with identical seeds, then diff them. Because every component is deterministic
+// given the seed (DESIGN.md §5e), two runs of the same binary + knobs are byte-identical, so
+// the *first* divergent event localises the first causal difference between two knob
+// settings — everything after it is downstream noise.
+//
+// Comparison model: ph:"M" metadata rows are consumed only to resolve tid → track name
+// (thread_name) and are never compared directly, so diffing traces from two programs with
+// different process names still works. All remaining events are compared in file order on
+// (track, phase, name, ts, dur, cat, args); the trailing stallAttribution summary is compared
+// after the event stream. Timestamps are virtual microseconds exactly as written by the
+// exporter.
+#ifndef FMOE_SRC_TOOLS_TRACE_DIFF_LIB_H_
+#define FMOE_SRC_TOOLS_TRACE_DIFF_LIB_H_
+
+#include <cstddef>
+#include <string>
+
+namespace fmoe {
+
+struct TraceDiffResult {
+  // False on I/O or parse failure; `error` says which file and why. Nothing else is valid.
+  bool ok = false;
+  std::string error;
+
+  // True when the two traces are event-for-event identical (and stall attribution matches).
+  bool identical = false;
+
+  // First divergence, valid when ok && !identical.
+  // kind: "event-field" (a compared field differs), "event-count" (one trace is a prefix of
+  // the other), or "stall-attribution" (events match; the trailing summary does not).
+  std::string kind;
+  size_t event_index = 0;    // Index in the compared (non-metadata) event stream.
+  std::string field;         // Which field diverged ("track", "ts", "args", ...).
+  std::string track_a, track_b;  // Resolved track names of the divergent events.
+  std::string name_a, name_b;    // Event names.
+  double ts_us_a = 0.0, ts_us_b = 0.0;  // Virtual timestamps (trace microseconds).
+  std::string value_a, value_b;  // The divergent field's value in each trace.
+};
+
+// Diffs two trace JSON documents given as strings. Never throws; malformed input lands in
+// result.error.
+TraceDiffResult DiffTraceJson(const std::string& json_a, const std::string& json_b);
+
+// Reads both files and diffs them. Missing/unreadable files land in result.error.
+TraceDiffResult DiffTraceFiles(const std::string& path_a, const std::string& path_b);
+
+// Human-readable rendering for the CLI: one line for identical traces, a small aligned
+// block (track / name / virtual time / field / both values) for a divergence, the error
+// string for failures. `label_a` / `label_b` are usually the file paths.
+std::string RenderTraceDiff(const TraceDiffResult& result, const std::string& label_a,
+                            const std::string& label_b);
+
+}  // namespace fmoe
+
+#endif  // FMOE_SRC_TOOLS_TRACE_DIFF_LIB_H_

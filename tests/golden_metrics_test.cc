@@ -188,6 +188,36 @@ TEST(GoldenMetricsTest, OpenLoopKnobsMatchCommittedScheduledGolden) {
   CompareOrUpdate("scheduled_mixtral_small.json", RenderReport(results));
 }
 
+// The clairvoyant oracle is a pure observer (DESIGN.md §5k). Two contracts, both pinned
+// against the same committed golden: with the knob left at its default (off, spelled out
+// here) the report carries no oracle block and replays the file byte-identically; with it
+// on, masking the oracle block alone must recover the very same bytes — recording the
+// gate-decision tape changed no timing, policy decision, or metric.
+TEST(GoldenMetricsTest, OracleDisabledIsByteIdentical) {
+  std::vector<ExperimentResult> results;
+  for (const std::string& system : PaperSystemNames()) {
+    ExperimentOptions options = GoldenOptions();
+    options.oracle = false;
+    results.push_back(RunOffline(system, options));
+    EXPECT_FALSE(results.back().oracle_enabled);
+  }
+  CompareOrUpdate("offline_mixtral_small.json", RenderReport(results));
+}
+
+TEST(GoldenMetricsTest, OracleEnabledOnlyAppendsTheOracleBlock) {
+  std::vector<ExperimentResult> results;
+  for (const std::string& system : PaperSystemNames()) {
+    ExperimentOptions options = GoldenOptions();
+    options.oracle = true;
+    results.push_back(RunOffline(system, options));
+    ASSERT_TRUE(results.back().oracle_enabled);
+    EXPECT_GT(results.back().oracle.accesses, 0u);
+    results.back().oracle_enabled = false;  // Mask the block; the rest must match the file.
+    results.back().oracle = OracleReport{};
+  }
+  CompareOrUpdate("offline_mixtral_small.json", RenderReport(results));
+}
+
 // Quantized map stores are tolerance-checked, never byte-pinned (DESIGN.md §5g): the fp32
 // golden above stays the byte-exact contract, and the fp16/int8 runs of the same workload
 // must land within documented bounds of it — matching accuracy may shift argmax decisions on
